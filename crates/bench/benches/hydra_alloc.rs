@@ -1,0 +1,44 @@
+//! Criterion bench: HYDRA allocation time as a function of platform size and
+//! workload size (the algorithmic-cost side of the design-space exploration;
+//! not a paper figure but the runtime claim behind the paper's "polynomial
+//! time" argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::allocator::{Allocator, HydraAllocator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taskgen::synthetic::{generate_problem, SyntheticConfig};
+
+fn bench_hydra_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hydra_allocation");
+    group.sample_size(20);
+    for &cores in &[2usize, 4, 8] {
+        let config = SyntheticConfig::paper_default(cores);
+        let mut rng = StdRng::seed_from_u64(7);
+        let problem = generate_problem(&config, 0.5 * cores as f64, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("cores", cores),
+            &problem,
+            |b, problem| {
+                let allocator = HydraAllocator::default();
+                b.iter(|| allocator.allocate(std::hint::black_box(problem)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hydra_case_study(c: &mut Criterion) {
+    let problem = hydra_core::AllocationProblem::new(
+        hydra_core::casestudy::uav_rt_tasks(),
+        hydra_core::catalog::table1_tasks(),
+        4,
+    );
+    c.bench_function("hydra_uav_case_study_4_cores", |b| {
+        let allocator = HydraAllocator::default();
+        b.iter(|| allocator.allocate(std::hint::black_box(&problem)));
+    });
+}
+
+criterion_group!(benches, bench_hydra_allocation, bench_hydra_case_study);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: cost of the exhaustive Optimal allocator vs HYDRA on the
+//! small instances of the Figure 3 setup — the "exponential computational
+//! complexity" the paper cites as the reason HYDRA's ≤ 22 % tightness gap is
+//! an acceptable trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::allocator::{Allocator, HydraAllocator, OptimalAllocator};
+use hydra_core::{AllocationProblem, SecurityTask, SecurityTaskSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt_core::{RtTask, TaskSet, Time};
+use taskgen::randfixedsum::randfixedsum;
+
+fn small_problem(security_tasks: usize, seed: u64) -> AllocationProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rt_utils = randfixedsum(6, 0.8, &mut rng);
+    let rt: TaskSet = rt_utils
+        .iter()
+        .map(|u| {
+            let period = Time::from_millis(100);
+            let wcet = Time::from_ticks(((u * period.as_ticks() as f64) as u64).max(100));
+            RtTask::implicit_deadline(wcet, period).unwrap()
+        })
+        .collect();
+    let sec_utils = randfixedsum(security_tasks, 0.3, &mut rng);
+    let sec: SecurityTaskSet = sec_utils
+        .iter()
+        .map(|u| {
+            let desired = Time::from_millis(1500);
+            let wcet = Time::from_ticks(((u * desired.as_ticks() as f64) as u64).max(100));
+            SecurityTask::new(wcet, desired, desired * 10).unwrap()
+        })
+        .collect();
+    AllocationProblem::new(rt, sec, 2)
+}
+
+fn bench_optimal_vs_hydra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_vs_hydra_m2");
+    group.sample_size(10);
+    for &n_sec in &[2usize, 4, 6] {
+        let problem = small_problem(n_sec, 42);
+        group.bench_with_input(BenchmarkId::new("optimal", n_sec), &problem, |b, p| {
+            let allocator = OptimalAllocator::default();
+            b.iter(|| allocator.allocate(std::hint::black_box(p)));
+        });
+        group.bench_with_input(BenchmarkId::new("hydra", n_sec), &problem, |b, p| {
+            let allocator = HydraAllocator::default();
+            b.iter(|| allocator.allocate(std::hint::black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_vs_hydra);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench / ablation: the real-time partitioning heuristics
+//! (first/best/worst-fit) used as the substrate below HYDRA — DESIGN.md
+//! names the choice of best-fit as a design decision worth quantifying.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt_partition::{partition_tasks, AdmissionTest, Heuristic, PartitionConfig};
+use taskgen::synthetic::{generate_problem, SyntheticConfig};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let config = SyntheticConfig::paper_default(8);
+    let mut rng = StdRng::seed_from_u64(13);
+    let problem = generate_problem(&config, 4.0, &mut rng);
+    let mut group = c.benchmark_group("rt_partitioning_8_cores");
+    group.sample_size(20);
+    for heuristic in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
+        group.bench_with_input(
+            BenchmarkId::new("heuristic", format!("{heuristic:?}")),
+            &heuristic,
+            |b, &h| {
+                let cfg = PartitionConfig::new(h, AdmissionTest::ResponseTime);
+                b.iter(|| partition_tasks(std::hint::black_box(&problem.rt_tasks), 8, &cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

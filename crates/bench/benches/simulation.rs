@@ -1,0 +1,29 @@
+//! Criterion bench: throughput of the discrete-event simulator on the
+//! Figure 1 case study (how much simulated time per second of wall clock the
+//! detection-latency experiment can sustain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::allocator::{Allocator, HydraAllocator};
+use hydra_core::{casestudy, catalog, AllocationProblem};
+use rt_core::Time;
+use rt_sim::engine::{simulate, SimConfig};
+use rt_sim::workload::simulation_tasks;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uav_case_study_simulation");
+    group.sample_size(10);
+    for &cores in &[2usize, 8] {
+        let problem =
+            AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), cores);
+        let allocation = HydraAllocator::default().allocate(&problem).unwrap();
+        let tasks = simulation_tasks(&problem, &allocation);
+        group.bench_with_input(BenchmarkId::new("cores", cores), &tasks, |b, tasks| {
+            let config = SimConfig::new(Time::from_secs(30));
+            b.iter(|| simulate(std::hint::black_box(tasks), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Reproduces Figure 3: the difference in cumulative tightness between HYDRA
+//! and the optimal (exhaustive) allocation on a 2-core platform with up to 6
+//! security tasks.
+//!
+//! Usage: `cargo run --release -p hydra-bench --bin fig3_optimality_gap
+//! [--quick] [--trials N] [--seed S] [--out DIR]`
+
+use hydra_bench::fig3::{run, tightness_table, Fig3Config};
+use hydra_bench::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let mut config = if options.quick {
+        Fig3Config::quick()
+    } else {
+        Fig3Config::default()
+    };
+    if let Some(trials) = options.trials {
+        config.trials = trials;
+    }
+    if let Some(seed) = options.seed {
+        config.seed = seed;
+    }
+
+    let points = run(&config);
+    let table = tightness_table(&points);
+    print!("{}", table.to_console());
+
+    let dir = options.output_dir.unwrap_or_else(|| "results".to_owned());
+    match table.write_csv(&dir, "fig3_optimality_gap") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Prints Table I (the security-task catalogue) and writes it to
+//! `results/table1.csv`.
+
+use hydra_bench::report::ResultTable;
+use hydra_bench::table1::build_table;
+use hydra_bench::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let table: ResultTable = build_table();
+    print!("{}", table.to_console());
+    let dir = options.output_dir.unwrap_or_else(|| "results".to_owned());
+    match table.write_csv(&dir, "table1") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,225 @@
+//! Figure 2: improvement in acceptance ratio of HYDRA over SingleCore on
+//! synthetic task sets, swept over total system utilisation for 2, 4 and 8
+//! cores.
+//!
+//! For every utilisation point the harness generates `trials` random task
+//! sets with the Section IV-B parameters, discards those failing the
+//! necessary condition of Eq. (1), runs both schemes on the survivors and
+//! records the fraction each scheme schedules. The reported series is the
+//! improvement `(δ_single_fail − δ_hydra_fail)/δ_single_fail × 100 %`
+//! together with the raw acceptance ratios (so the figure can be re-plotted
+//! either way).
+
+use hydra_core::allocator::{Allocator, HydraAllocator, SingleCoreAllocator};
+use hydra_core::metrics::{acceptance_improvement_percent, AcceptanceCounter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt_core::dbf::necessary_condition_default_horizon;
+use taskgen::synthetic::{generate_problem, SyntheticConfig};
+
+use crate::report::{fmt3, fmt_pct, ResultTable};
+
+/// Parameters of the Figure 2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Config {
+    /// Core counts to evaluate.
+    pub cores: Vec<usize>,
+    /// Random task sets generated per utilisation point (the paper uses 250).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional cap on the number of utilisation points (`None` = the full
+    /// 39-point sweep). Points are taken evenly from the full sweep.
+    pub max_points: Option<usize>,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Fig2Config {
+            cores: vec![2, 4, 8],
+            trials: 250,
+            seed: 2018,
+            max_points: None,
+        }
+    }
+}
+
+impl Fig2Config {
+    /// A reduced configuration for smoke tests and `--quick` runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig2Config {
+            cores: vec![2],
+            trials: 20,
+            max_points: Some(8),
+            ..Fig2Config::default()
+        }
+    }
+}
+
+/// One point of the Figure 2 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptancePoint {
+    /// Number of cores.
+    pub cores: usize,
+    /// Total system utilisation of the generated task sets.
+    pub utilization: f64,
+    /// Number of generated task sets that passed the Eq. (1) filter.
+    pub evaluated: usize,
+    /// Acceptance ratio of HYDRA.
+    pub hydra: f64,
+    /// Acceptance ratio of SingleCore.
+    pub single_core: f64,
+    /// Improvement metric plotted in Figure 2.
+    pub improvement_percent: f64,
+}
+
+fn sweep_points(config: &SyntheticConfig, max_points: Option<usize>) -> Vec<f64> {
+    let all = config.utilization_sweep();
+    match max_points {
+        Some(k) if k < all.len() && k >= 2 => {
+            let step = (all.len() - 1) as f64 / (k - 1) as f64;
+            (0..k).map(|i| all[(i as f64 * step).round() as usize]).collect()
+        }
+        _ => all,
+    }
+}
+
+/// Runs the Figure 2 experiment and returns one [`AcceptancePoint`] per
+/// `(cores, utilisation)` pair.
+#[must_use]
+pub fn run(config: &Fig2Config) -> Vec<AcceptancePoint> {
+    let hydra = HydraAllocator::default();
+    let single = SingleCoreAllocator::default();
+    let mut points = Vec::new();
+    for &cores in &config.cores {
+        let synth = SyntheticConfig::paper_default(cores);
+        for utilization in sweep_points(&synth, config.max_points) {
+            let mut rng = StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add(cores as u64)
+                    .wrapping_add((utilization * 1000.0) as u64),
+            );
+            let mut hydra_counter = AcceptanceCounter::new();
+            let mut single_counter = AcceptanceCounter::new();
+            let mut evaluated = 0;
+            for _ in 0..config.trials {
+                let problem = generate_problem(&synth, utilization, &mut rng);
+                // Discard task sets that are trivially unschedulable on the
+                // platform (Eq. 1 applied to the whole workload with the
+                // security tasks at their desired periods).
+                if !necessary_condition_default_horizon(&problem.rt_tasks, cores) {
+                    continue;
+                }
+                evaluated += 1;
+                hydra_counter.record(hydra.allocate(&problem).is_ok());
+                single_counter.record(single.allocate(&problem).is_ok());
+            }
+            points.push(AcceptancePoint {
+                cores,
+                utilization,
+                evaluated,
+                hydra: hydra_counter.ratio(),
+                single_core: single_counter.ratio(),
+                improvement_percent: acceptance_improvement_percent(
+                    hydra_counter.ratio(),
+                    single_counter.ratio(),
+                ),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the Figure 2 series as a table.
+#[must_use]
+pub fn acceptance_table(points: &[AcceptancePoint]) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 2 — acceptance ratio and improvement, HYDRA vs SingleCore",
+        &[
+            "cores",
+            "total_utilization",
+            "evaluated",
+            "hydra_acceptance",
+            "single_core_acceptance",
+            "improvement_percent",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.cores.to_string(),
+            fmt3(p.utilization),
+            p.evaluated.to_string(),
+            fmt3(p.hydra),
+            fmt3(p.single_core),
+            fmt_pct(p.improvement_percent),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_the_requested_points() {
+        let config = Fig2Config {
+            trials: 6,
+            max_points: Some(5),
+            cores: vec![2],
+            ..Fig2Config::quick()
+        };
+        let points = run(&config);
+        assert_eq!(points.len(), 5);
+        for p in &points {
+            assert_eq!(p.cores, 2);
+            assert!(p.hydra >= 0.0 && p.hydra <= 1.0);
+            assert!(p.single_core >= 0.0 && p.single_core <= 1.0);
+        }
+        assert_eq!(acceptance_table(&points).len(), 5);
+    }
+
+    #[test]
+    fn low_utilization_is_accepted_by_both_schemes() {
+        let config = Fig2Config {
+            trials: 10,
+            max_points: Some(2),
+            cores: vec![2],
+            ..Fig2Config::quick()
+        };
+        let points = run(&config);
+        let low = &points[0];
+        assert!(low.utilization < 0.3);
+        assert!(low.hydra > 0.9, "HYDRA acceptance {} at U = {}", low.hydra, low.utilization);
+        assert!((low.improvement_percent).abs() < 50.0);
+    }
+
+    #[test]
+    fn hydra_accepts_at_least_as_many_tasksets_at_high_utilization() {
+        let config = Fig2Config {
+            trials: 15,
+            max_points: Some(2),
+            cores: vec![2],
+            ..Fig2Config::quick()
+        };
+        let points = run(&config);
+        let high = points.last().unwrap();
+        assert!(high.utilization > 1.5);
+        assert!(
+            high.hydra >= high.single_core,
+            "HYDRA {} vs SingleCore {} at U = {}",
+            high.hydra,
+            high.single_core,
+            high.utilization
+        );
+    }
+
+    #[test]
+    fn full_sweep_has_39_points_per_core_count() {
+        let synth = SyntheticConfig::paper_default(8);
+        assert_eq!(sweep_points(&synth, None).len(), 39);
+        assert_eq!(sweep_points(&synth, Some(10)).len(), 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! Figure 3: difference in cumulative tightness between HYDRA and the optimal
+//! (exhaustive) allocation, for a small platform (M = 2, N_S ∈ [2, 6]).
+//!
+//! For every utilisation point the harness generates random task sets with
+//! the Section IV-B parameters restricted to at most six security tasks,
+//! allocates with HYDRA and with the exhaustive Optimal scheme, and reports
+//! the mean relative gap `Δη = (η_OPT − η_HYDRA)/η_OPT × 100 %` over the task
+//! sets both schemes schedule.
+
+use hydra_core::allocator::{Allocator, HydraAllocator, OptimalAllocator};
+use hydra_core::metrics::{mean, tightness_gap_percent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taskgen::synthetic::{generate_problem, SyntheticConfig};
+
+use crate::report::{fmt3, fmt_pct, ResultTable};
+
+/// Parameters of the Figure 3 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Config {
+    /// Number of cores (the paper uses 2 so the exhaustive search stays
+    /// tractable).
+    pub cores: usize,
+    /// Range (inclusive) of the number of security tasks (the paper uses
+    /// `[2, 6]`).
+    pub security_tasks: (usize, usize),
+    /// Random task sets per utilisation point.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional cap on the number of utilisation points.
+    pub max_points: Option<usize>,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            cores: 2,
+            security_tasks: (2, 6),
+            trials: 100,
+            seed: 2018,
+            max_points: None,
+        }
+    }
+}
+
+impl Fig3Config {
+    /// A reduced configuration for smoke tests and `--quick` runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig3Config {
+            trials: 10,
+            max_points: Some(8),
+            ..Fig3Config::default()
+        }
+    }
+
+    fn synthetic(&self) -> SyntheticConfig {
+        let mut synth = SyntheticConfig::paper_default(self.cores);
+        synth.security_tasks = self.security_tasks;
+        synth
+    }
+}
+
+/// One point of the Figure 3 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TightnessPoint {
+    /// Total system utilisation of the generated task sets.
+    pub utilization: f64,
+    /// Number of task sets both schemes scheduled (the gap is averaged over
+    /// these).
+    pub compared: usize,
+    /// Mean cumulative tightness achieved by HYDRA.
+    pub hydra_tightness: f64,
+    /// Mean cumulative tightness achieved by the optimal scheme.
+    pub optimal_tightness: f64,
+    /// Mean relative gap in percent (the Figure 3 y-axis).
+    pub gap_percent: f64,
+    /// Largest observed gap in percent.
+    pub max_gap_percent: f64,
+}
+
+fn sweep_points(config: &SyntheticConfig, max_points: Option<usize>) -> Vec<f64> {
+    let all = config.utilization_sweep();
+    match max_points {
+        Some(k) if k < all.len() && k >= 2 => {
+            let step = (all.len() - 1) as f64 / (k - 1) as f64;
+            (0..k).map(|i| all[(i as f64 * step).round() as usize]).collect()
+        }
+        _ => all,
+    }
+}
+
+/// Runs the Figure 3 experiment.
+#[must_use]
+pub fn run(config: &Fig3Config) -> Vec<TightnessPoint> {
+    let hydra = HydraAllocator::default();
+    let optimal = OptimalAllocator::default();
+    let synth = config.synthetic();
+    let mut points = Vec::new();
+    for utilization in sweep_points(&synth, config.max_points) {
+        let mut rng = StdRng::seed_from_u64(
+            config.seed.wrapping_add((utilization * 1000.0) as u64),
+        );
+        let mut gaps = Vec::new();
+        let mut hydra_values = Vec::new();
+        let mut optimal_values = Vec::new();
+        for _ in 0..config.trials {
+            let problem = generate_problem(&synth, utilization, &mut rng);
+            let (Ok(h), Ok(o)) = (hydra.allocate(&problem), optimal.allocate(&problem)) else {
+                continue;
+            };
+            let sec = &problem.security_tasks;
+            let eta_h = h.cumulative_tightness(sec);
+            let eta_o = o.cumulative_tightness(sec);
+            hydra_values.push(eta_h);
+            optimal_values.push(eta_o);
+            gaps.push(tightness_gap_percent(eta_o, eta_h));
+        }
+        points.push(TightnessPoint {
+            utilization,
+            compared: gaps.len(),
+            hydra_tightness: mean(&hydra_values),
+            optimal_tightness: mean(&optimal_values),
+            gap_percent: mean(&gaps),
+            max_gap_percent: gaps.iter().copied().fold(0.0, f64::max),
+        });
+    }
+    points
+}
+
+/// Renders the Figure 3 series as a table.
+#[must_use]
+pub fn tightness_table(points: &[TightnessPoint]) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 3 — cumulative-tightness gap, HYDRA vs Optimal (M = 2, Ns ≤ 6)",
+        &[
+            "total_utilization",
+            "compared",
+            "hydra_tightness",
+            "optimal_tightness",
+            "mean_gap_percent",
+            "max_gap_percent",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            fmt3(p.utilization),
+            p.compared.to_string(),
+            fmt3(p.hydra_tightness),
+            fmt3(p.optimal_tightness),
+            fmt_pct(p.gap_percent),
+            fmt_pct(p.max_gap_percent),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_points_with_sound_gaps() {
+        let config = Fig3Config {
+            trials: 5,
+            max_points: Some(4),
+            ..Fig3Config::quick()
+        };
+        let points = run(&config);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            // Optimal never loses to HYDRA, so the gap is non-negative and
+            // the mean optimal tightness is at least the mean HYDRA tightness
+            // over the compared task sets.
+            assert!(p.gap_percent >= 0.0);
+            assert!(p.max_gap_percent >= p.gap_percent);
+            if p.compared > 0 {
+                assert!(p.optimal_tightness + 1e-9 >= p.hydra_tightness);
+            }
+        }
+        assert_eq!(tightness_table(&points).len(), 4);
+    }
+
+    #[test]
+    fn low_utilization_gap_is_negligible() {
+        let config = Fig3Config {
+            trials: 8,
+            max_points: Some(2),
+            ..Fig3Config::quick()
+        };
+        let points = run(&config);
+        let low = &points[0];
+        assert!(low.utilization < 0.3);
+        assert!(low.compared > 0);
+        assert!(
+            low.gap_percent < 1.0,
+            "gap {} % at utilisation {}",
+            low.gap_percent,
+            low.utilization
+        );
+    }
+}

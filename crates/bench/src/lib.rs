@@ -1,0 +1,130 @@
+//! # hydra-bench — experiment harness for the HYDRA reproduction
+//!
+//! One module per paper artefact plus shared plumbing:
+//!
+//! * [`fig1`] — the UAV case study: allocate with HYDRA and SingleCore,
+//!   simulate, inject attacks, report the detection-time CDF (Figure 1),
+//! * [`fig2`] — the synthetic acceptance-ratio sweep (Figure 2),
+//! * [`fig3`] — the HYDRA vs Optimal cumulative-tightness gap (Figure 3),
+//! * [`table1`] — the security-task catalogue (Table I),
+//! * [`report`] — small CSV/console reporting helpers shared by the binaries.
+//!
+//! Each binary in `src/bin/` is a thin wrapper over the corresponding module
+//! so the same experiment code is reachable from integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod report;
+pub mod table1;
+
+/// Parses `--key value` style command-line options shared by the experiment
+/// binaries. Unknown keys are ignored so each binary can pick what it needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Number of random trials (task sets per utilisation point, or attacks
+    /// per configuration).
+    pub trials: Option<usize>,
+    /// RNG seed.
+    pub seed: Option<u64>,
+    /// Core counts to evaluate.
+    pub cores: Option<Vec<usize>>,
+    /// Output directory for CSV files.
+    pub output_dir: Option<String>,
+    /// Quick mode: drastically reduced trial counts for smoke runs.
+    pub quick: bool,
+}
+
+impl CliOptions {
+    /// Parses options from an iterator of argument strings (excluding the
+    /// program name).
+    #[must_use]
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut options = CliOptions {
+            trials: None,
+            seed: None,
+            cores: None,
+            output_dir: None,
+            quick: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    options.quick = true;
+                    i += 1;
+                }
+                "--trials" if i + 1 < args.len() => {
+                    options.trials = args[i + 1].parse().ok();
+                    i += 2;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    options.seed = args[i + 1].parse().ok();
+                    i += 2;
+                }
+                "--cores" if i + 1 < args.len() => {
+                    options.cores = Some(
+                        args[i + 1]
+                            .split(',')
+                            .filter_map(|c| c.trim().parse().ok())
+                            .collect(),
+                    );
+                    i += 2;
+                }
+                "--out" if i + 1 < args.len() => {
+                    options.output_dir = Some(args[i + 1].clone());
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        options
+    }
+
+    /// Parses the options of the current process.
+    #[must_use]
+    pub fn from_env() -> Self {
+        CliOptions::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_flags_and_ignores_unknown() {
+        let opts = CliOptions::parse([
+            "--trials", "50", "--seed", "7", "--cores", "2,4,8", "--quick", "--out", "results",
+            "--bogus", "x",
+        ]);
+        assert_eq!(opts.trials, Some(50));
+        assert_eq!(opts.seed, Some(7));
+        assert_eq!(opts.cores, Some(vec![2, 4, 8]));
+        assert!(opts.quick);
+        assert_eq!(opts.output_dir.as_deref(), Some("results"));
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let opts = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(opts.trials, None);
+        assert!(!opts.quick);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_none() {
+        let opts = CliOptions::parse(["--trials", "abc", "--cores", "x,y"]);
+        assert_eq!(opts.trials, None);
+        assert_eq!(opts.cores, Some(vec![]));
+    }
+}

@@ -1,0 +1,56 @@
+//! Allocation schemes: HYDRA, the SingleCore baseline and the exhaustive
+//! Optimal baseline.
+//!
+//! All schemes implement the [`Allocator`] trait so the experiment harness
+//! and the examples can swap them freely.
+
+mod hydra;
+mod optimal;
+mod single_core;
+
+pub use hydra::{CoreSelection, HydraAllocator};
+pub use optimal::OptimalAllocator;
+pub use single_core::SingleCoreAllocator;
+
+use crate::allocation::{Allocation, AllocationError, AllocationProblem};
+
+/// A scheme that decides where security tasks run and with what period.
+pub trait Allocator {
+    /// Short human-readable name of the scheme (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Allocates the security tasks of `problem` onto its cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AllocationError`] when the real-time workload cannot be
+    /// partitioned or no feasible placement/period exists for some security
+    /// task under this scheme.
+    fn allocate(&self, problem: &AllocationProblem) -> Result<Allocation, AllocationError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_trait_is_object_safe() {
+        fn assert_object_safe(_: &dyn Allocator) {}
+        assert_object_safe(&HydraAllocator::default());
+        assert_object_safe(&SingleCoreAllocator::default());
+        assert_object_safe(&OptimalAllocator::default());
+    }
+
+    #[test]
+    fn allocator_names_are_distinct() {
+        let names = [
+            HydraAllocator::default().name(),
+            SingleCoreAllocator::default().name(),
+            OptimalAllocator::default().name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,309 @@
+//! The exhaustive "Optimal" baseline (Section IV-B.2).
+//!
+//! For small instances the paper compares HYDRA against an exhaustive search:
+//! every one of the `M^{N_S}` assignments of security tasks to cores is
+//! enumerated, and for each assignment the whole period vector is chosen to
+//! maximise the cumulative weighted tightness (a joint convex/geometric
+//! program in the paper; the coordinate-ascent refinement of
+//! [`crate::joint`] here). The assignment with the best cumulative tightness
+//! wins.
+//!
+//! Because the per-assignment period optimisation starts from the greedy
+//! (HYDRA-style) period vector and only ever improves it, the result of this
+//! allocator is **never worse than HYDRA** on the same problem — the
+//! invariant behind Figure 3.
+
+use rt_partition::{partition_tasks, CoreId};
+
+use crate::allocation::{Allocation, AllocationError, AllocationProblem, SecurityPlacement};
+use crate::allocator::Allocator;
+use crate::interference::{rt_interference_on, InterferenceBound};
+use crate::joint::{optimize_core_periods, JointOptions};
+use crate::security::{SecurityTask, SecurityTaskId};
+
+/// Exhaustive assignment enumeration with joint period optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalAllocator {
+    joint: JointOptions,
+    /// Safety limit on the number of enumerated assignments.
+    max_assignments: u128,
+}
+
+impl Default for OptimalAllocator {
+    fn default() -> Self {
+        OptimalAllocator {
+            joint: JointOptions::default(),
+            max_assignments: 1 << 22,
+        }
+    }
+}
+
+impl OptimalAllocator {
+    /// Creates the allocator with default joint-optimisation options and an
+    /// enumeration limit of about four million assignments.
+    #[must_use]
+    pub fn new() -> Self {
+        OptimalAllocator::default()
+    }
+
+    /// Overrides the joint period-optimisation options (e.g.
+    /// [`JointOptions::greedy_only`] for the ablation that isolates the value
+    /// of period refinement from the value of exhaustive assignment search).
+    #[must_use]
+    pub fn with_joint_options(mut self, joint: JointOptions) -> Self {
+        self.joint = joint;
+        self
+    }
+
+    /// Overrides the enumeration safety limit.
+    #[must_use]
+    pub fn with_assignment_limit(mut self, limit: u128) -> Self {
+        self.max_assignments = limit;
+        self
+    }
+}
+
+impl Allocator for OptimalAllocator {
+    fn name(&self) -> &'static str {
+        "Optimal"
+    }
+
+    fn allocate(&self, problem: &AllocationProblem) -> Result<Allocation, AllocationError> {
+        let rt_partition =
+            partition_tasks(&problem.rt_tasks, problem.cores, &problem.partition_config).map_err(
+                |e| AllocationError::RtPartitionFailed {
+                    task: e.task,
+                    cores: problem.cores,
+                },
+            )?;
+        let cores = problem.cores;
+        let n = problem.security_tasks.len();
+        if n == 0 {
+            return Ok(Allocation::new(rt_partition, Vec::new()));
+        }
+
+        let assignments = (cores as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
+        if assignments > self.max_assignments {
+            return Err(AllocationError::ProblemTooLarge {
+                assignments,
+                limit: self.max_assignments,
+            });
+        }
+
+        let rt_bounds: Vec<InterferenceBound> = (0..cores)
+            .map(|m| rt_interference_on(&problem.rt_tasks, &rt_partition, CoreId(m)))
+            .collect();
+        // Security tasks in priority order (highest first); assignments are
+        // enumerated over this order so per-core groups come out already
+        // priority-sorted.
+        let priority_order: Vec<SecurityTaskId> = problem.security_tasks.ids_by_priority();
+
+        let mut best: Option<(f64, Vec<SecurityPlacement>)> = None;
+        let mut assignment = vec![0usize; n];
+        'outer: loop {
+            // Evaluate the current assignment.
+            let mut total = 0.0;
+            let mut placements: Vec<Option<SecurityPlacement>> = vec![None; n];
+            let mut feasible = true;
+            for m in 0..cores {
+                let ids: Vec<SecurityTaskId> = priority_order
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, &id)| (assignment[slot] == m).then_some(id))
+                    .collect();
+                if ids.is_empty() {
+                    continue;
+                }
+                let tasks: Vec<&SecurityTask> =
+                    ids.iter().map(|&id| &problem.security_tasks[id]).collect();
+                match optimize_core_periods(&tasks, &rt_bounds[m], &self.joint) {
+                    Some(plan) => {
+                        total += plan.weighted_tightness;
+                        for (k, &id) in ids.iter().enumerate() {
+                            placements[id.0] = Some(SecurityPlacement {
+                                core: CoreId(m),
+                                period: plan.periods[k],
+                                tightness: problem.security_tasks[id].tightness(plan.periods[k]),
+                            });
+                        }
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if feasible {
+                let placements: Vec<SecurityPlacement> = placements
+                    .into_iter()
+                    .map(|p| p.expect("feasible assignment placed every task"))
+                    .collect();
+                if best.as_ref().map_or(true, |(b, _)| total > *b) {
+                    best = Some((total, placements));
+                }
+            }
+
+            // Advance to the next assignment (mixed-radix counter).
+            let mut slot = 0usize;
+            loop {
+                if slot == n {
+                    break 'outer;
+                }
+                assignment[slot] += 1;
+                if assignment[slot] < cores {
+                    break;
+                }
+                assignment[slot] = 0;
+                slot += 1;
+            }
+        }
+
+        match best {
+            Some((_, placements)) => Ok(Allocation::new(rt_partition, placements)),
+            None => Err(AllocationError::SecurityUnschedulable { task: None }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::HydraAllocator;
+    use crate::security::{SecurityTask, SecurityTaskSet};
+    use rt_core::{RtTask, TaskSet, Time};
+
+    fn rt(c_ms: u64, t_ms: u64) -> RtTask {
+        RtTask::implicit_deadline(Time::from_millis(c_ms), Time::from_millis(t_ms)).unwrap()
+    }
+
+    fn sec(c_ms: u64, tdes_ms: u64, tmax_ms: u64) -> SecurityTask {
+        SecurityTask::new(
+            Time::from_millis(c_ms),
+            Time::from_millis(tdes_ms),
+            Time::from_millis(tmax_ms),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimal_never_loses_to_hydra_on_the_case_study() {
+        let sec_tasks = crate::catalog::table1_tasks();
+        for cores in [2usize, 4] {
+            let problem = AllocationProblem::new(
+                crate::casestudy::uav_rt_tasks(),
+                sec_tasks.clone(),
+                cores,
+            );
+            let hydra = HydraAllocator::default().allocate(&problem).unwrap();
+            let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
+            assert!(
+                optimal.cumulative_tightness(&sec_tasks) + 1e-9
+                    >= hydra.cumulative_tightness(&sec_tasks),
+                "optimal lost to HYDRA on {cores} cores"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_finds_the_split_hydra_would_also_find() {
+        // Two heavy security tasks, two idle cores: both schemes should give
+        // both tasks their desired period by splitting them.
+        let sec_tasks: SecurityTaskSet =
+            vec![sec(600, 1000, 10_000), sec(600, 1000, 10_000)].into_iter().collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks.clone(), 2);
+        let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
+        assert!((optimal.cumulative_tightness(&sec_tasks) - 2.0).abs() < 1e-9);
+        assert_ne!(
+            optimal.core_of(SecurityTaskId(0)),
+            optimal.core_of(SecurityTaskId(1))
+        );
+    }
+
+    #[test]
+    fn optimal_beats_greedy_when_stretching_helps() {
+        // Single core with the "hog + victim" geometry from the joint module:
+        // HYDRA's greedy periods are strictly worse than the refined ones.
+        let sec_tasks: SecurityTaskSet = vec![
+            sec(900, 920, 100_000),
+            sec(100, 2_000, 200_000),
+        ]
+        .into_iter()
+        .collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks.clone(), 1);
+        let hydra = HydraAllocator::default().allocate(&problem).unwrap();
+        let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
+        assert!(
+            optimal.cumulative_tightness(&sec_tasks)
+                > hydra.cumulative_tightness(&sec_tasks) + 0.05
+        );
+    }
+
+    #[test]
+    fn infeasible_problems_are_reported() {
+        let sec_tasks: SecurityTaskSet = vec![
+            sec(600, 1000, 2_000),
+            sec(600, 1000, 2_000),
+            sec(600, 1000, 2_000),
+        ]
+        .into_iter()
+        .collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 1);
+        assert_eq!(
+            OptimalAllocator::default().allocate(&problem),
+            Err(AllocationError::SecurityUnschedulable { task: None })
+        );
+    }
+
+    #[test]
+    fn enumeration_limit_is_enforced() {
+        let sec_tasks: SecurityTaskSet = (0..8).map(|_| sec(10, 1000, 10_000)).collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 4);
+        let allocator = OptimalAllocator::default().with_assignment_limit(1000);
+        assert!(matches!(
+            allocator.allocate(&problem),
+            Err(AllocationError::ProblemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_security_set_is_trivially_optimal() {
+        let problem =
+            AllocationProblem::new(crate::casestudy::uav_rt_tasks(), SecurityTaskSet::empty(), 2);
+        let allocation = OptimalAllocator::default().allocate(&problem).unwrap();
+        assert!(allocation.is_empty());
+    }
+
+    #[test]
+    fn rt_partition_failure_is_propagated() {
+        let rt_tasks: TaskSet = vec![rt(9, 10), rt(9, 10), rt(9, 10)].into_iter().collect();
+        let problem = AllocationProblem::new(rt_tasks, SecurityTaskSet::empty(), 2);
+        assert!(matches!(
+            OptimalAllocator::default().allocate(&problem),
+            Err(AllocationError::RtPartitionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_only_variant_still_dominates_hydra() {
+        // Even without period refinement, searching over all assignments can
+        // only help relative to HYDRA's greedy assignment.
+        let sec_tasks: SecurityTaskSet = vec![
+            sec(300, 1000, 10_000),
+            sec(300, 1000, 10_000),
+            sec(300, 1500, 15_000),
+        ]
+        .into_iter()
+        .collect();
+        let rt_tasks: TaskSet = vec![rt(60, 100), rt(20, 100)].into_iter().collect();
+        let problem = AllocationProblem::new(rt_tasks, sec_tasks.clone(), 2);
+        let hydra = HydraAllocator::default().allocate(&problem).unwrap();
+        let optimal = OptimalAllocator::default()
+            .with_joint_options(JointOptions::greedy_only())
+            .allocate(&problem)
+            .unwrap();
+        assert!(
+            optimal.cumulative_tightness(&sec_tasks) + 1e-9
+                >= hydra.cumulative_tightness(&sec_tasks)
+        );
+    }
+}

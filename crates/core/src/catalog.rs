@@ -1,0 +1,198 @@
+//! The security-task catalogue of Table I.
+//!
+//! The paper illustrates the approach with the default task breakdown of two
+//! open-source intrusion-detection applications: Tripwire (host-level
+//! integrity checking) and Bro (network-level monitoring). Table I lists six
+//! tasks; the paper measured their WCETs on a 1 GHz ARM Cortex-A8 running
+//! Xenomai-patched Linux but does not print the numbers, so this module
+//! encodes representative values in the measured order of magnitude
+//! (hundreds of milliseconds of WCET for directory-tree hash checks on an
+//! embedded-class core, desired periods of a few seconds,
+//! `T^max = 10 · T^des` as in the synthetic experiments). The allocation and
+//! scheduling analysis only consumes the `(C, T^des, T^max)` tuples, so the
+//! qualitative comparisons (HYDRA vs SingleCore vs Optimal) are insensitive
+//! to the exact constants; see `DESIGN.md` §3 for the substitution note.
+
+use rt_core::Time;
+
+use crate::security::{SecurityTask, SecurityTaskSet};
+
+/// Which security application a catalogue task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityApplication {
+    /// Open-source Tripwire (host integrity checking).
+    Tripwire,
+    /// The Bro network security monitor.
+    Bro,
+}
+
+impl std::fmt::Display for SecurityApplication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecurityApplication::Tripwire => write!(f, "Tripwire"),
+            SecurityApplication::Bro => write!(f, "Bro"),
+        }
+    }
+}
+
+/// One row of Table I: a named security function with its application of
+/// origin and timing parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Short task name (as in Table I).
+    pub name: &'static str,
+    /// What the task checks or monitors.
+    pub function: &'static str,
+    /// Application the task comes from.
+    pub application: SecurityApplication,
+    /// Worst-case execution time.
+    pub wcet: Time,
+    /// Desired monitoring period.
+    pub desired_period: Time,
+    /// Maximum period beyond which monitoring is ineffective.
+    pub max_period: Time,
+}
+
+impl CatalogEntry {
+    /// Converts the entry into a [`SecurityTask`].
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in catalogue: all entries satisfy the
+    /// [`SecurityTask`] invariants by construction.
+    #[must_use]
+    pub fn to_task(&self) -> SecurityTask {
+        SecurityTask::new(self.wcet, self.desired_period, self.max_period)
+            .expect("catalogue entries are valid by construction")
+            .with_name(self.name)
+    }
+}
+
+/// The six rows of Table I.
+#[must_use]
+pub fn table1_entries() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "tripwire_self_check",
+            function: "compare the hash of the security routine's own binary",
+            application: SecurityApplication::Tripwire,
+            wcet: Time::from_millis(200),
+            desired_period: Time::from_millis(2_000),
+            max_period: Time::from_millis(20_000),
+        },
+        CatalogEntry {
+            name: "tripwire_executables",
+            function: "check hashes of the file-system binaries (/bin, /sbin)",
+            application: SecurityApplication::Tripwire,
+            wcet: Time::from_millis(900),
+            desired_period: Time::from_millis(5_000),
+            max_period: Time::from_millis(50_000),
+        },
+        CatalogEntry {
+            name: "tripwire_libraries",
+            function: "check hashes of the critical libraries (/lib)",
+            application: SecurityApplication::Tripwire,
+            wcet: Time::from_millis(650),
+            desired_period: Time::from_millis(4_000),
+            max_period: Time::from_millis(40_000),
+        },
+        CatalogEntry {
+            name: "tripwire_dev_kernel",
+            function: "check hashes of peripherals and kernel info (/dev, /proc)",
+            application: SecurityApplication::Tripwire,
+            wcet: Time::from_millis(400),
+            desired_period: Time::from_millis(3_000),
+            max_period: Time::from_millis(30_000),
+        },
+        CatalogEntry {
+            name: "tripwire_config",
+            function: "check configuration-file hashes (/etc)",
+            application: SecurityApplication::Tripwire,
+            wcet: Time::from_millis(300),
+            desired_period: Time::from_millis(2_500),
+            max_period: Time::from_millis(25_000),
+        },
+        CatalogEntry {
+            name: "bro_network_monitor",
+            function: "scan the network interface (en0) for intrusions",
+            application: SecurityApplication::Bro,
+            wcet: Time::from_millis(120),
+            desired_period: Time::from_millis(1_000),
+            max_period: Time::from_millis(10_000),
+        },
+    ]
+}
+
+/// The Table I workload as a [`SecurityTaskSet`], in catalogue order.
+#[must_use]
+pub fn table1_tasks() -> SecurityTaskSet {
+    table1_entries().iter().map(CatalogEntry::to_task).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table1_shape() {
+        let entries = table1_entries();
+        assert_eq!(entries.len(), 6, "Table I lists six security tasks");
+        let tripwire = entries
+            .iter()
+            .filter(|e| e.application == SecurityApplication::Tripwire)
+            .count();
+        let bro = entries
+            .iter()
+            .filter(|e| e.application == SecurityApplication::Bro)
+            .count();
+        assert_eq!(tripwire, 5);
+        assert_eq!(bro, 1);
+    }
+
+    #[test]
+    fn entries_have_unique_names_and_valid_tasks() {
+        let entries = table1_entries();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        for e in &entries {
+            let t = e.to_task();
+            assert_eq!(t.name(), Some(e.name));
+            assert!(t.wcet() < t.desired_period());
+        }
+    }
+
+    #[test]
+    fn max_period_is_ten_times_desired() {
+        for e in table1_entries() {
+            assert_eq!(e.max_period, e.desired_period * 10);
+        }
+    }
+
+    #[test]
+    fn total_desired_utilization_fits_one_core_but_not_trivially() {
+        // The catalogue is heavy enough that piling all six checks onto one
+        // core creates visible interference (the Figure 1 effect) but still
+        // fits a single dedicated core at the desired periods.
+        let set = table1_tasks();
+        let u = set.max_total_utilization();
+        assert!(u > 0.6 && u < 0.95, "desired-period utilisation {u}");
+        assert!(set.min_total_utilization() < 0.1);
+    }
+
+    #[test]
+    fn bro_task_has_highest_priority() {
+        // Smallest T^max ⇒ highest priority; the Bro monitor is the most
+        // frequent task in the catalogue.
+        let set = table1_tasks();
+        let order = set.ids_by_priority();
+        assert_eq!(set[order[0]].name(), Some("bro_network_monitor"));
+    }
+
+    #[test]
+    fn application_display() {
+        assert_eq!(SecurityApplication::Tripwire.to_string(), "Tripwire");
+        assert_eq!(SecurityApplication::Bro.to_string(), "Bro");
+    }
+}

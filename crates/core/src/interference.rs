@@ -1,0 +1,194 @@
+//! The interference bound of Eq. (5).
+//!
+//! A security task `τ_s` placed on core `π_m` runs below every real-time task
+//! and below the higher-priority security tasks already assigned to that
+//! core. Using the linear (load-bound) response-time argument of the paper,
+//! the interference it suffers over one of its own periods `T_s` is bounded
+//! by
+//!
+//! ```text
+//! I_s^m = Σ_{τr on m} (1 + T_s/T_r) · C_r  +  Σ_{τh ∈ hpS(s) on m} (1 + T_s/T_h) · C_h
+//! ```
+//!
+//! which is *affine in `T_s`*: `I_s^m = constant + slope · T_s` with
+//! `constant = Σ C_r + Σ C_h` and `slope = Σ C_r/T_r + Σ C_h/T_h` (the
+//! utilisation of the interfering tasks). The schedulability constraint
+//! `C_s + I_s^m ≤ T_s` (Eq. 6) therefore reduces to a one-dimensional
+//! fractional-linear problem solved in closed form by
+//! [`crate::period`].
+
+use rt_core::{TaskSet, Time};
+use rt_partition::{CoreId, Partition};
+
+use crate::security::SecurityTask;
+
+/// The affine interference bound `I(T) = constant + slope · T` suffered by a
+/// security task on a particular core.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InterferenceBound {
+    /// Constant part: the sum of the WCETs of all interfering tasks
+    /// (in ticks, kept as `f64` for the optimisation).
+    pub constant: f64,
+    /// Slope: the total utilisation of all interfering tasks.
+    pub slope: f64,
+}
+
+impl InterferenceBound {
+    /// An empty bound (no interference).
+    #[must_use]
+    pub fn zero() -> Self {
+        InterferenceBound::default()
+    }
+
+    /// Adds an interfering task with WCET `wcet` and period `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn add_task(&mut self, wcet: Time, period: Time) {
+        assert!(!period.is_zero(), "interfering task must have a positive period");
+        self.constant += wcet.as_ticks() as f64;
+        self.slope += wcet.ratio(period);
+    }
+
+    /// Evaluates the bound at a candidate period (in ticks).
+    #[must_use]
+    pub fn at(&self, period_ticks: f64) -> f64 {
+        self.constant + self.slope * period_ticks
+    }
+
+    /// Combines two bounds (interference adds up).
+    #[must_use]
+    pub fn plus(&self, other: &InterferenceBound) -> InterferenceBound {
+        InterferenceBound {
+            constant: self.constant + other.constant,
+            slope: self.slope + other.slope,
+        }
+    }
+}
+
+/// Interference contributed by the real-time tasks partitioned onto `core`
+/// (the first summation of Eq. 5).
+#[must_use]
+pub fn rt_interference_on(rt_tasks: &TaskSet, partition: &Partition, core: CoreId) -> InterferenceBound {
+    let mut bound = InterferenceBound::zero();
+    for (_, task) in partition.iter_core(rt_tasks, core) {
+        bound.add_task(task.wcet(), task.period());
+    }
+    bound
+}
+
+/// Interference contributed by already-placed higher-priority security tasks
+/// on the same core (the second summation of Eq. 5). `placed` yields the
+/// higher-priority security tasks assigned to the candidate core together
+/// with the period each of them was granted.
+#[must_use]
+pub fn security_interference<'a, I>(placed: I) -> InterferenceBound
+where
+    I: IntoIterator<Item = (&'a SecurityTask, Time)>,
+{
+    let mut bound = InterferenceBound::zero();
+    for (task, period) in placed {
+        bound.add_task(task.wcet(), period);
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::RtTask;
+    use rt_core::TaskId;
+
+    use crate::security::SecurityTask;
+
+    fn rt(c_ms: u64, t_ms: u64) -> RtTask {
+        RtTask::implicit_deadline(Time::from_millis(c_ms), Time::from_millis(t_ms)).unwrap()
+    }
+
+    fn sec(c_ms: u64, tdes_ms: u64, tmax_ms: u64) -> SecurityTask {
+        SecurityTask::new(
+            Time::from_millis(c_ms),
+            Time::from_millis(tdes_ms),
+            Time::from_millis(tmax_ms),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_bound_evaluates_to_zero() {
+        let b = InterferenceBound::zero();
+        assert_eq!(b.at(1e9), 0.0);
+    }
+
+    #[test]
+    fn add_task_accumulates_constant_and_slope() {
+        let mut b = InterferenceBound::zero();
+        b.add_task(Time::from_millis(5), Time::from_millis(20));
+        b.add_task(Time::from_millis(10), Time::from_millis(100));
+        // constant = 15 ms in ticks, slope = 0.25 + 0.1.
+        assert!((b.constant - 15_000.0).abs() < 1e-9);
+        assert!((b.slope - 0.35).abs() < 1e-12);
+        // I(T = 40 ms) = 15 + 0.35·40 = 29 ms.
+        assert!((b.at(40_000.0) - 29_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_matches_eq5_for_a_concrete_partition() {
+        // Two RT tasks on core 0, one on core 1.
+        let rt_tasks: TaskSet = vec![rt(5, 20), rt(10, 100), rt(8, 40)].into_iter().collect();
+        let mut partition = Partition::new(3, 2);
+        partition.assign(TaskId(0), CoreId(0));
+        partition.assign(TaskId(1), CoreId(0));
+        partition.assign(TaskId(2), CoreId(1));
+
+        let on0 = rt_interference_on(&rt_tasks, &partition, CoreId(0));
+        assert!((on0.constant - 15_000.0).abs() < 1e-9);
+        assert!((on0.slope - 0.35).abs() < 1e-12);
+
+        let on1 = rt_interference_on(&rt_tasks, &partition, CoreId(1));
+        assert!((on1.constant - 8_000.0).abs() < 1e-9);
+        assert!((on1.slope - 0.2).abs() < 1e-12);
+
+        // Eq. (5) with T_s = 60 ms on core 0:
+        // (1 + 60/20)·5 + (1 + 60/100)·10 = 20 + 16 = 36 ms.
+        let t_s = 60_000.0;
+        assert!((on0.at(t_s) - 36_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn security_interference_uses_granted_periods() {
+        let hi = sec(30, 1000, 10_000);
+        let granted = Time::from_millis(2_000);
+        let b = security_interference([(&hi, granted)]);
+        assert!((b.constant - 30_000.0).abs() < 1e-9);
+        assert!((b.slope - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plus_combines_bounds() {
+        let mut a = InterferenceBound::zero();
+        a.add_task(Time::from_millis(2), Time::from_millis(10));
+        let mut b = InterferenceBound::zero();
+        b.add_task(Time::from_millis(3), Time::from_millis(30));
+        let c = a.plus(&b);
+        assert!((c.constant - 5_000.0).abs() < 1e-9);
+        assert!((c.slope - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_core_has_no_rt_interference() {
+        let rt_tasks: TaskSet = vec![rt(5, 20)].into_iter().collect();
+        let mut partition = Partition::new(1, 2);
+        partition.assign(TaskId(0), CoreId(0));
+        let on1 = rt_interference_on(&rt_tasks, &partition, CoreId(1));
+        assert_eq!(on1, InterferenceBound::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn zero_period_interferer_panics() {
+        let mut b = InterferenceBound::zero();
+        b.add_task(Time::from_millis(1), Time::ZERO);
+    }
+}

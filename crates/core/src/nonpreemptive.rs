@@ -1,0 +1,335 @@
+//! Blocking-aware allocation for non-preemptive security tasks
+//! (Section V extension).
+//!
+//! The base HYDRA model keeps security tasks fully preemptive, which is what
+//! guarantees they can never perturb the real-time workload. If a security
+//! check must run non-preemptively (e.g. to observe a consistent snapshot),
+//! it can block *every* task on its core — real-time tasks included — for up
+//! to its own WCET. The [`NpHydraAllocator`] therefore extends Algorithm 1
+//! with three additional obligations when it considers hosting a
+//! non-preemptive security task `τ_s` (WCET `C_s`) on core `π_m`:
+//!
+//! 1. every **real-time task** on `π_m` must stay schedulable under the
+//!    blocking-aware response-time recurrence `R = C + B + Σ ⌈R/T⌉·C` with
+//!    `B = max(C_s, existing non-preemptive blocking on π_m)`;
+//! 2. every **already-placed security task** on `π_m` (all of which have
+//!    higher priority, because HYDRA walks tasks in priority order) must
+//!    still meet its granted period once the new blocking term is added to
+//!    its Eq. (6) constraint;
+//! 3. the new task itself is admitted with the usual period-adaptation rule
+//!    (its own non-preemptiveness does not change its *worst-case* response
+//!    bound — the linear bound of Eq. (5) already covers the preemptions it
+//!    no longer suffers).
+//!
+//! Cores violating any of these checks are simply excluded from the candidate
+//! set for that task, so the real-time guarantees are preserved by
+//! construction.
+
+use rt_core::rta::response_time_with_blocking;
+use rt_core::{RtTask, TaskSet, Time};
+use rt_partition::{partition_tasks, CoreId, Partition};
+
+use crate::allocation::{Allocation, AllocationError, AllocationProblem, SecurityPlacement};
+use crate::allocator::Allocator;
+use crate::interference::{rt_interference_on, security_interference, InterferenceBound};
+use crate::period::{adapt_period, PeriodChoice};
+use crate::security::{SecurityTaskId, SecurityTaskSet};
+
+/// HYDRA with support for non-preemptive security tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NpHydraAllocator {
+    _private: (),
+}
+
+impl NpHydraAllocator {
+    /// Creates the allocator.
+    #[must_use]
+    pub fn new() -> Self {
+        NpHydraAllocator::default()
+    }
+
+    /// Whether every real-time task on `core` tolerates `blocking` time units
+    /// of priority inversion from a non-preemptive security task.
+    fn rt_tasks_tolerate_blocking(
+        rt_tasks: &TaskSet,
+        partition: &Partition,
+        core: CoreId,
+        blocking: Time,
+    ) -> bool {
+        let members: Vec<&RtTask> = partition
+            .iter_core(rt_tasks, core)
+            .map(|(_, task)| task)
+            .collect();
+        // Rate-monotonic priorities among the real-time tasks on this core.
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by_key(|&i| members[i].period());
+        for (rank, &idx) in order.iter().enumerate() {
+            let task = members[idx];
+            let interferers = order[..rank].iter().map(|&j| members[j]);
+            let verdict = response_time_with_blocking(
+                task.wcet(),
+                task.deadline(),
+                blocking,
+                interferers.collect::<Vec<_>>(),
+            );
+            if !verdict.is_schedulable() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether an already-granted security placement still satisfies its
+    /// Eq. (6) constraint when `blocking` is added.
+    fn placement_tolerates_blocking(
+        task_wcet: Time,
+        granted_period: Time,
+        bound: &InterferenceBound,
+        blocking: Time,
+    ) -> bool {
+        let t = granted_period.as_ticks() as f64;
+        let demand = task_wcet.as_ticks() as f64 + blocking.as_ticks() as f64 + bound.at(t);
+        demand <= t + 1.0
+    }
+
+    /// Runs the blocking-aware allocation against an already-partitioned
+    /// real-time workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError::SecurityUnschedulable`] if some security
+    /// task has no core that passes all blocking checks with a feasible
+    /// period.
+    pub fn allocate_with_partition(
+        &self,
+        rt_tasks: &TaskSet,
+        rt_partition: &Partition,
+        security_tasks: &SecurityTaskSet,
+    ) -> Result<Allocation, AllocationError> {
+        let cores = rt_partition.cores();
+        let rt_bounds: Vec<InterferenceBound> = (0..cores)
+            .map(|m| rt_interference_on(rt_tasks, rt_partition, CoreId(m)))
+            .collect();
+
+        // Per core: placed (id, choice) pairs and the largest non-preemptive
+        // WCET placed so far (the blocking already imposed on that core).
+        let mut placed: Vec<Vec<(SecurityTaskId, PeriodChoice)>> = vec![Vec::new(); cores];
+        let mut np_blocking: Vec<Time> = vec![Time::ZERO; cores];
+        let mut placements: Vec<Option<SecurityPlacement>> = vec![None; security_tasks.len()];
+
+        for sec_id in security_tasks.ids_by_priority() {
+            let task = &security_tasks[sec_id];
+            let mut best: Option<(CoreId, PeriodChoice, f64)> = None;
+            for m in 0..cores {
+                let core = CoreId(m);
+                let sec_bound = security_interference(
+                    placed[m]
+                        .iter()
+                        .map(|(id, choice)| (&security_tasks[*id], choice.period)),
+                );
+                let bound = rt_bounds[m].plus(&sec_bound);
+
+                // The blocking this task suffers from non-preemptive tasks
+                // already on the core is at most np_blocking[m] only if those
+                // tasks were lower priority — they are not (placement order is
+                // by priority), so the task itself suffers no blocking yet.
+                let Some(choice) = adapt_period(task, &bound) else {
+                    continue;
+                };
+
+                if task.is_non_preemptive() {
+                    let blocking = np_blocking[m].max(task.wcet());
+                    // 1. Real-time tasks on this core must tolerate it.
+                    if !Self::rt_tasks_tolerate_blocking(rt_tasks, rt_partition, core, blocking) {
+                        continue;
+                    }
+                    // 2. Every higher-priority security task already granted a
+                    //    period on this core must still fit.
+                    let mut all_fit = true;
+                    for (k, (placed_id, placed_choice)) in placed[m].iter().enumerate() {
+                        let placed_task = &security_tasks[*placed_id];
+                        // Interference seen by that task: RT plus the security
+                        // tasks placed before it on the same core.
+                        let hp_bound = rt_bounds[m].plus(&security_interference(
+                            placed[m][..k]
+                                .iter()
+                                .map(|(id, c)| (&security_tasks[*id], c.period)),
+                        ));
+                        if !Self::placement_tolerates_blocking(
+                            placed_task.wcet(),
+                            placed_choice.period,
+                            &hp_bound,
+                            task.wcet(),
+                        ) {
+                            all_fit = false;
+                            break;
+                        }
+                    }
+                    if !all_fit {
+                        continue;
+                    }
+                }
+
+                let load = bound.slope;
+                let better = match &best {
+                    None => true,
+                    Some((_, incumbent, incumbent_load)) => {
+                        choice.tightness > incumbent.tightness + 1e-12
+                            || ((choice.tightness - incumbent.tightness).abs() <= 1e-12
+                                && load < incumbent_load - 1e-12)
+                    }
+                };
+                if better {
+                    best = Some((core, choice, load));
+                }
+            }
+            match best {
+                Some((core, choice, _)) => {
+                    placed[core.0].push((sec_id, choice));
+                    if task.is_non_preemptive() {
+                        np_blocking[core.0] = np_blocking[core.0].max(task.wcet());
+                    }
+                    placements[sec_id.0] = Some(SecurityPlacement {
+                        core,
+                        period: choice.period,
+                        tightness: choice.tightness,
+                    });
+                }
+                None => {
+                    return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) })
+                }
+            }
+        }
+
+        let placements: Vec<SecurityPlacement> = placements
+            .into_iter()
+            .map(|p| p.expect("every task was placed or we returned early"))
+            .collect();
+        Ok(Allocation::new(rt_partition.clone(), placements))
+    }
+}
+
+impl Allocator for NpHydraAllocator {
+    fn name(&self) -> &'static str {
+        "HYDRA+non-preemptive"
+    }
+
+    fn allocate(&self, problem: &AllocationProblem) -> Result<Allocation, AllocationError> {
+        let rt_partition =
+            partition_tasks(&problem.rt_tasks, problem.cores, &problem.partition_config).map_err(
+                |e| AllocationError::RtPartitionFailed {
+                    task: e.task,
+                    cores: problem.cores,
+                },
+            )?;
+        self.allocate_with_partition(&problem.rt_tasks, &rt_partition, &problem.security_tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::HydraAllocator;
+    use crate::security::SecurityTask;
+
+    fn rt(c_ms: u64, t_ms: u64) -> RtTask {
+        RtTask::implicit_deadline(Time::from_millis(c_ms), Time::from_millis(t_ms)).unwrap()
+    }
+
+    fn sec(c_ms: u64, tdes_ms: u64, tmax_ms: u64) -> SecurityTask {
+        SecurityTask::new(
+            Time::from_millis(c_ms),
+            Time::from_millis(tdes_ms),
+            Time::from_millis(tmax_ms),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_preemptive_workload_matches_plain_hydra() {
+        let problem = AllocationProblem::new(
+            crate::casestudy::uav_rt_tasks(),
+            crate::catalog::table1_tasks(),
+            4,
+        );
+        let plain = HydraAllocator::default().allocate(&problem).unwrap();
+        let np = NpHydraAllocator::default().allocate(&problem).unwrap();
+        assert_eq!(plain, np);
+    }
+
+    #[test]
+    fn non_preemptive_task_avoids_cores_with_tight_rt_deadlines() {
+        // Core 0 hosts an RT task with a 10 ms deadline and 6 ms WCET: a
+        // 300 ms non-preemptive check would wreck it, so the check must land
+        // on the other core (which has a tolerant RT task).
+        let rt_tasks: TaskSet = vec![rt(6, 10), rt(50, 1000)].into_iter().collect();
+        let sec_tasks: SecurityTaskSet =
+            vec![sec(300, 2000, 20_000).non_preemptive()].into_iter().collect();
+        let problem = AllocationProblem::new(rt_tasks.clone(), sec_tasks, 2);
+        let allocation = NpHydraAllocator::default().allocate(&problem).unwrap();
+        let rt_partition = allocation.rt_partition();
+        let tight_core = rt_partition.core_of(rt_core::TaskId(0)).unwrap();
+        assert_ne!(
+            allocation.core_of(SecurityTaskId(0)),
+            tight_core,
+            "non-preemptive check placed next to the tight-deadline RT task"
+        );
+    }
+
+    #[test]
+    fn non_preemptive_task_with_no_tolerant_core_is_rejected() {
+        // Every core hosts a tight RT task; the long non-preemptive check can
+        // go nowhere even though preemptive HYDRA would accept it.
+        let rt_tasks: TaskSet = vec![rt(6, 10), rt(6, 10)].into_iter().collect();
+        let sec_tasks_np: SecurityTaskSet =
+            vec![sec(300, 2000, 20_000).non_preemptive()].into_iter().collect();
+        let sec_tasks_p: SecurityTaskSet = vec![sec(300, 2000, 20_000)].into_iter().collect();
+        let np_problem = AllocationProblem::new(rt_tasks.clone(), sec_tasks_np, 2);
+        let p_problem = AllocationProblem::new(rt_tasks, sec_tasks_p, 2);
+        assert!(matches!(
+            NpHydraAllocator::default().allocate(&np_problem),
+            Err(AllocationError::SecurityUnschedulable { task: Some(_) })
+        ));
+        assert!(NpHydraAllocator::default().allocate(&p_problem).is_ok());
+        assert!(HydraAllocator::default().allocate(&np_problem).is_ok());
+    }
+
+    #[test]
+    fn later_non_preemptive_task_cannot_break_an_earlier_placement() {
+        // One idle core. The high-priority security task is admitted at its
+        // desired period with almost no slack; a lower-priority non-preemptive
+        // task whose WCET would violate that placement must be rejected
+        // (there is no other core to move to).
+        let hi = sec(900, 1000, 1_050);
+        let np_lo = sec(600, 2000, 20_000).non_preemptive();
+        let sec_tasks: SecurityTaskSet = vec![hi, np_lo].into_iter().collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 1);
+        assert!(matches!(
+            NpHydraAllocator::default().allocate(&problem),
+            Err(AllocationError::SecurityUnschedulable { task: Some(SecurityTaskId(1)) })
+        ));
+        // The same workload with a preemptive low-priority task is fine.
+        let sec_tasks: SecurityTaskSet =
+            vec![sec(900, 1000, 1_050), sec(600, 2000, 20_000)].into_iter().collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 1);
+        assert!(NpHydraAllocator::default().allocate(&problem).is_ok());
+    }
+
+    #[test]
+    fn second_core_rescues_the_conflicting_non_preemptive_task() {
+        let hi = sec(900, 1000, 1_050);
+        let np_lo = sec(600, 2000, 20_000).non_preemptive();
+        let sec_tasks: SecurityTaskSet = vec![hi, np_lo].into_iter().collect();
+        let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 2);
+        let allocation = NpHydraAllocator::default().allocate(&problem).unwrap();
+        assert_ne!(
+            allocation.core_of(SecurityTaskId(0)),
+            allocation.core_of(SecurityTaskId(1))
+        );
+    }
+
+    #[test]
+    fn allocator_name_is_distinct() {
+        assert_eq!(NpHydraAllocator::default().name(), "HYDRA+non-preemptive");
+    }
+}

@@ -1,0 +1,229 @@
+//! Period adaptation for a single security task (Eq. 7).
+//!
+//! For a given core assignment, the best period of a security task `τ_s` is
+//! the solution of
+//!
+//! ```text
+//! maximise η_s = T_s^des / T_s
+//! subject to  T_s^des ≤ T_s ≤ T_s^max,    C_s + I_s^m(T_s) ≤ T_s
+//! ```
+//!
+//! The paper solves this as a geometric program; because the interference
+//! bound is affine in `T_s` (see [`crate::interference`]) the problem has the
+//! closed-form solution
+//!
+//! ```text
+//! T_s* = max(T_s^des, (C_s + constant) / (1 − slope))
+//! ```
+//!
+//! feasible iff `slope < 1` and `T_s* ≤ T_s^max`. [`adapt_period`] implements
+//! the closed form (used on the allocator hot path);
+//! [`adapt_period_gp`] solves the same instance with the iterative
+//! [`gp_solver`] for cross-checking, mirroring the paper's GPkit/CVXOPT
+//! pipeline.
+
+use gp_solver::scalar::minimize_linear_fractional;
+use gp_solver::{GpProblem, Monomial, Posynomial, SolverOptions};
+use rt_core::Time;
+
+use crate::interference::InterferenceBound;
+use crate::security::SecurityTask;
+
+/// The outcome of period adaptation for one security task on one candidate
+/// core: the granted period and the resulting tightness `η_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodChoice {
+    /// Granted period `T_s` (the smallest feasible period ≥ `T_s^des`).
+    pub period: Time,
+    /// Tightness `η_s = T_s^des / T_s ∈ (0, 1]`.
+    pub tightness: f64,
+}
+
+impl PeriodChoice {
+    /// Weighted contribution of this choice to the cumulative objective,
+    /// `ω_s · η_s`.
+    #[must_use]
+    pub fn weighted_tightness(&self, task: &SecurityTask) -> f64 {
+        task.weight() * self.tightness
+    }
+}
+
+/// Solves Eq. (7) in closed form.
+///
+/// Returns `None` when no period in `[T^des, T^max]` satisfies the
+/// schedulability constraint on the candidate core (the core is not a
+/// feasible host for this task).
+#[must_use]
+pub fn adapt_period(task: &SecurityTask, interference: &InterferenceBound) -> Option<PeriodChoice> {
+    let lower = task.desired_period().as_ticks() as f64;
+    let upper = task.max_period().as_ticks() as f64;
+    let a = task.wcet().as_ticks() as f64 + interference.constant;
+    let b = interference.slope;
+    let solution = minimize_linear_fractional(lower, upper, a, b).value()?;
+    // Round up to a whole tick: this keeps the schedulability constraint
+    // satisfied (larger periods only relax it) and stays within T^max because
+    // the bound itself is ≤ the integral T^max.
+    let period = Time::from_ticks(solution.ceil() as u64);
+    debug_assert!(period <= task.max_period());
+    Some(PeriodChoice {
+        period,
+        tightness: task.tightness(period),
+    })
+}
+
+/// Solves the same instance as [`adapt_period`] with the iterative GP solver
+/// (the path the paper takes via GPkit + CVXOPT). Intended for cross-checks
+/// and the ablation bench; roughly three orders of magnitude slower than the
+/// closed form.
+#[must_use]
+pub fn adapt_period_gp(
+    task: &SecurityTask,
+    interference: &InterferenceBound,
+    options: &SolverOptions,
+) -> Option<PeriodChoice> {
+    // Work in milliseconds to keep the GP well-scaled regardless of the tick
+    // resolution.
+    const SCALE: f64 = 1_000.0;
+    let lower = task.desired_period().as_ticks() as f64 / SCALE;
+    let upper = task.max_period().as_ticks() as f64 / SCALE;
+    let a = (task.wcet().as_ticks() as f64 + interference.constant) / SCALE;
+    let b = interference.slope;
+
+    // minimise T  subject to  a·T^-1 + b ≤ 1,  lower ≤ T ≤ upper.
+    let mut problem = GpProblem::new(1);
+    problem.set_objective(Posynomial::from(Monomial::new(1.0, vec![1.0])));
+    let mut constraint = Posynomial::from(Monomial::new(a.max(1e-12), vec![-1.0]));
+    if b > 0.0 {
+        constraint.push(Monomial::constant(b, 1));
+    }
+    problem.add_constraint_le(constraint);
+    problem.add_bounds(0, lower, upper);
+    problem.set_initial_point(vec![upper]);
+
+    let solution = problem.solve(options).ok()?;
+    if !solution.is_feasible() {
+        return None;
+    }
+    let ticks = (solution.values[0] * SCALE).ceil().max(lower * SCALE) as u64;
+    let period = Time::from_ticks(ticks.min(task.max_period().as_ticks()));
+    Some(PeriodChoice {
+        period,
+        tightness: task.tightness(period),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::Time;
+
+    fn sec(c_ms: u64, tdes_ms: u64, tmax_ms: u64) -> SecurityTask {
+        SecurityTask::new(
+            Time::from_millis(c_ms),
+            Time::from_millis(tdes_ms),
+            Time::from_millis(tmax_ms),
+        )
+        .unwrap()
+    }
+
+    fn bound(constant_ms: f64, slope: f64) -> InterferenceBound {
+        InterferenceBound {
+            constant: constant_ms * 1_000.0,
+            slope,
+        }
+    }
+
+    #[test]
+    fn no_interference_grants_desired_period() {
+        let task = sec(10, 1000, 10_000);
+        let choice = adapt_period(&task, &InterferenceBound::zero()).unwrap();
+        assert_eq!(choice.period, Time::from_millis(1000));
+        assert_eq!(choice.tightness, 1.0);
+        assert_eq!(choice.weighted_tightness(&task), 1.0);
+    }
+
+    #[test]
+    fn interference_stretches_the_period() {
+        // C = 100 ms, constant 200 ms, slope 0.4:
+        // T* = (100 + 200) / 0.6 = 500 ms > T^des = 400 ms.
+        let task = sec(100, 400, 4000);
+        let choice = adapt_period(&task, &bound(200.0, 0.4)).unwrap();
+        assert_eq!(choice.period, Time::from_millis(500));
+        assert!((choice.tightness - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn desired_period_wins_when_interference_is_mild() {
+        // T* requirement = (10 + 50)/(1 − 0.2) = 75 ms < T^des = 1000 ms.
+        let task = sec(10, 1000, 10_000);
+        let choice = adapt_period(&task, &bound(50.0, 0.2)).unwrap();
+        assert_eq!(choice.period, Time::from_millis(1000));
+        assert_eq!(choice.tightness, 1.0);
+    }
+
+    #[test]
+    fn infeasible_when_required_period_exceeds_max() {
+        // (100 + 800)/(1 − 0.5) = 1800 ms > T^max = 1500 ms.
+        let task = sec(100, 500, 1500);
+        assert_eq!(adapt_period(&task, &bound(800.0, 0.5)), None);
+    }
+
+    #[test]
+    fn infeasible_when_interfering_load_saturates_core() {
+        let task = sec(10, 1000, 10_000);
+        assert_eq!(adapt_period(&task, &bound(0.0, 1.0)), None);
+        assert_eq!(adapt_period(&task, &bound(0.0, 1.2)), None);
+    }
+
+    #[test]
+    fn granted_period_always_satisfies_eq6() {
+        let task = sec(37, 713, 9_241);
+        let b = bound(123.4, 0.37);
+        let choice = adapt_period(&task, &b).unwrap();
+        let t = choice.period.as_ticks() as f64;
+        let lhs = task.wcet().as_ticks() as f64 + b.at(t);
+        assert!(lhs <= t + 1.0, "constraint violated: {lhs} > {t}");
+    }
+
+    #[test]
+    fn gp_solver_agrees_with_closed_form() {
+        let cases = [
+            (sec(10, 1000, 10_000), bound(0.0, 0.0)),
+            (sec(100, 400, 4000), bound(200.0, 0.4)),
+            (sec(55, 1000, 10_000), bound(64.0, 0.62)),
+            (sec(375, 5000, 50_000), bound(500.0, 0.3)),
+        ];
+        for (task, b) in cases {
+            let closed = adapt_period(&task, &b).unwrap();
+            let gp = adapt_period_gp(&task, &b, &SolverOptions::default()).unwrap();
+            let rel = (gp.period.as_ticks() as f64 - closed.period.as_ticks() as f64).abs()
+                / closed.period.as_ticks() as f64;
+            assert!(
+                rel < 5e-3,
+                "GP {} vs closed form {} for {task}",
+                gp.period,
+                closed.period
+            );
+            assert!((gp.tightness - closed.tightness).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn gp_solver_detects_infeasibility() {
+        let task = sec(100, 500, 1500);
+        let b = bound(800.0, 0.5);
+        assert_eq!(adapt_period(&task, &b), None);
+        assert_eq!(adapt_period_gp(&task, &b, &SolverOptions::default()), None);
+    }
+
+    #[test]
+    fn tightness_never_exceeds_one_nor_drops_below_floor() {
+        let task = sec(200, 1000, 5000);
+        for slope in [0.0, 0.3, 0.6, 0.79] {
+            if let Some(choice) = adapt_period(&task, &bound(300.0, slope)) {
+                assert!(choice.tightness <= 1.0 + 1e-12);
+                assert!(choice.tightness >= task.min_tightness() - 1e-12);
+            }
+        }
+    }
+}

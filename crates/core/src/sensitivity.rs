@@ -1,0 +1,232 @@
+//! Design-space sensitivity analysis.
+//!
+//! The paper motivates HYDRA as a *design-space exploration* tool: when an
+//! allocation fails, or succeeds with little slack, the designer wants hints
+//! about which knobs to turn. This module answers two such questions for a
+//! completed allocation:
+//!
+//! * [`period_slack`] — how much each security task's granted period could
+//!   still grow before hitting `T^max` (robustness of the monitoring margin),
+//! * [`wcet_scaling_margin`] — by what factor all security WCETs could be
+//!   inflated before the allocation's schedulability constraints break
+//!   (robustness against WCET underestimation, a classic concern when the
+//!   WCETs were measured rather than derived).
+
+use rt_core::Time;
+use rt_partition::CoreId;
+
+use crate::allocation::{Allocation, AllocationProblem};
+use crate::interference::{rt_interference_on, InterferenceBound};
+use crate::security::SecurityTaskId;
+
+/// Remaining period slack of every security task: `T^max − T_granted`, in the
+/// allocation's task order. A small slack means the task is close to the
+/// point where its monitoring becomes ineffective.
+#[must_use]
+pub fn period_slack(problem: &AllocationProblem, allocation: &Allocation) -> Vec<(SecurityTaskId, Time)> {
+    allocation
+        .iter()
+        .map(|(id, placement)| {
+            let task = &problem.security_tasks[id];
+            (id, task.max_period().saturating_sub(placement.period))
+        })
+        .collect()
+}
+
+/// The largest factor `λ ≥ 1` such that multiplying every security task's
+/// WCET by `λ` keeps every granted placement feasible (granted periods and
+/// the real-time partition held fixed). Returns `1.0` if the allocation has
+/// no headroom at all and `f64::INFINITY` if there are no security tasks.
+///
+/// For each core the constraint of the lowest-slack task is
+/// `λ·(C_s + ΣC_h) ≤ T_s − I_rt(T_s)`, so the margin is the minimum over all
+/// placements of `(T_s − I_rt(T_s)) / (C_s + ΣC_h)`.
+#[must_use]
+pub fn wcet_scaling_margin(problem: &AllocationProblem, allocation: &Allocation) -> f64 {
+    if allocation.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut margin = f64::INFINITY;
+    for core in allocation.rt_partition().core_ids() {
+        let rt_bound: InterferenceBound =
+            rt_interference_on(&problem.rt_tasks, allocation.rt_partition(), core);
+        // Tasks on this core in priority order (highest first).
+        let mut ids = allocation.security_tasks_on(core);
+        ids.sort_by_key(|&id| (problem.security_tasks[id].max_period(), id.0));
+        for (rank, &id) in ids.iter().enumerate() {
+            let task = &problem.security_tasks[id];
+            let period = allocation.period_of(id);
+            let t = period.as_ticks() as f64;
+            // Security part of the demand scales with λ; the RT part does not.
+            let mut security_demand = task.wcet().as_ticks() as f64;
+            for &hp in &ids[..rank] {
+                let hp_task = &problem.security_tasks[hp];
+                let hp_period = allocation.period_of(hp).as_ticks() as f64;
+                security_demand += hp_task.wcet().as_ticks() as f64 * (1.0 + t / hp_period);
+            }
+            let rt_demand = rt_bound.at(t);
+            let budget = t - rt_demand;
+            if budget <= 0.0 {
+                return 1.0;
+            }
+            if security_demand > 0.0 {
+                margin = margin.min(budget / security_demand);
+            }
+        }
+    }
+    margin.max(1.0)
+}
+
+/// The security task with the smallest period slack, if any — the first
+/// candidate a designer should look at when hardening the configuration.
+#[must_use]
+pub fn most_constrained_task(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+) -> Option<(SecurityTaskId, Time)> {
+    period_slack(problem, allocation)
+        .into_iter()
+        .min_by_key(|&(_, slack)| slack)
+}
+
+/// Utilisation headroom of every core: `1 − U_rt − U_security_granted`.
+/// Negative values never occur for a valid allocation.
+#[must_use]
+pub fn core_headroom(problem: &AllocationProblem, allocation: &Allocation) -> Vec<(CoreId, f64)> {
+    allocation
+        .rt_partition()
+        .core_ids()
+        .map(|core| {
+            let rt = allocation
+                .rt_partition()
+                .utilization_on(&problem.rt_tasks, core);
+            let sec: f64 = allocation
+                .security_tasks_on(core)
+                .iter()
+                .map(|&id| {
+                    problem.security_tasks[id]
+                        .wcet()
+                        .ratio(allocation.period_of(id))
+                })
+                .sum();
+            (core, 1.0 - rt - sec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::{Allocator, HydraAllocator};
+    use crate::security::{SecurityTask, SecurityTaskSet};
+    use rt_core::{RtTask, TaskSet};
+
+    fn case_study(cores: usize) -> (AllocationProblem, Allocation) {
+        let problem = AllocationProblem::new(
+            crate::casestudy::uav_rt_tasks(),
+            crate::catalog::table1_tasks(),
+            cores,
+        );
+        let allocation = HydraAllocator::default().allocate(&problem).unwrap();
+        (problem, allocation)
+    }
+
+    #[test]
+    fn period_slack_is_nonnegative_and_bounded_by_tmax() {
+        let (problem, allocation) = case_study(4);
+        for (id, slack) in period_slack(&problem, &allocation) {
+            assert!(slack <= problem.security_tasks[id].max_period());
+        }
+        assert_eq!(period_slack(&problem, &allocation).len(), 6);
+    }
+
+    #[test]
+    fn wcet_margin_is_at_least_one_and_finite_for_the_case_study() {
+        let (problem, allocation) = case_study(4);
+        let margin = wcet_scaling_margin(&problem, &allocation);
+        assert!(margin >= 1.0);
+        assert!(margin.is_finite());
+        // The case study has plenty of slack on four cores.
+        assert!(margin > 1.2, "margin {margin}");
+    }
+
+    #[test]
+    fn empty_security_set_has_infinite_margin() {
+        let problem = AllocationProblem::new(
+            crate::casestudy::uav_rt_tasks(),
+            SecurityTaskSet::empty(),
+            2,
+        );
+        let allocation = HydraAllocator::default().allocate(&problem).unwrap();
+        assert_eq!(wcet_scaling_margin(&problem, &allocation), f64::INFINITY);
+        assert_eq!(most_constrained_task(&problem, &allocation), None);
+    }
+
+    #[test]
+    fn scaled_wcets_at_the_margin_stay_feasible() {
+        // Empirical check of the margin's meaning: scaling all security WCETs
+        // by a factor just under the margin keeps HYDRA feasible with the
+        // same granted periods or better.
+        let (problem, allocation) = case_study(2);
+        let margin = wcet_scaling_margin(&problem, &allocation);
+        let factor = (margin * 0.95).max(1.0);
+        let scaled: SecurityTaskSet = problem
+            .security_tasks
+            .tasks()
+            .map(|t| {
+                SecurityTask::new(
+                    Time::from_ticks(((t.wcet().as_ticks() as f64) * factor) as u64),
+                    t.desired_period(),
+                    t.max_period(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let scaled_problem =
+            AllocationProblem::new(problem.rt_tasks.clone(), scaled, 2);
+        assert!(HydraAllocator::default().allocate(&scaled_problem).is_ok());
+    }
+
+    #[test]
+    fn most_constrained_task_has_the_minimum_slack() {
+        let (problem, allocation) = case_study(2);
+        let (id, slack) = most_constrained_task(&problem, &allocation).unwrap();
+        for (other, other_slack) in period_slack(&problem, &allocation) {
+            assert!(slack <= other_slack, "{id} vs {other}");
+        }
+    }
+
+    #[test]
+    fn core_headroom_is_positive_for_valid_allocations() {
+        let (problem, allocation) = case_study(4);
+        let headroom = core_headroom(&problem, &allocation);
+        assert_eq!(headroom.len(), 4);
+        for (core, h) in headroom {
+            assert!(h > -1e-9, "core {core} over-committed: headroom {h}");
+        }
+    }
+
+    #[test]
+    fn saturated_core_reports_margin_close_to_one() {
+        // A security task granted a period with almost no slack.
+        let rt_tasks: TaskSet = vec![RtTask::implicit_deadline(
+            Time::from_millis(50),
+            Time::from_millis(100),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let sec_tasks: SecurityTaskSet = vec![SecurityTask::new(
+            Time::from_millis(470),
+            Time::from_millis(1000),
+            Time::from_millis(1_050),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let problem = AllocationProblem::new(rt_tasks, sec_tasks, 1);
+        let allocation = HydraAllocator::default().allocate(&problem).unwrap();
+        let margin = wcet_scaling_margin(&problem, &allocation);
+        assert!(margin >= 1.0 && margin < 1.2, "margin {margin}");
+    }
+}

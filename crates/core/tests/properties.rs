@@ -1,0 +1,180 @@
+//! Property-based tests for the HYDRA core: allocations produced by any
+//! scheme must respect the period bounds and the schedulability constraint,
+//! and the dominance relations between the schemes must hold.
+
+use hydra_core::allocator::{Allocator, HydraAllocator, OptimalAllocator, SingleCoreAllocator};
+use hydra_core::interference::rt_interference_on;
+use hydra_core::joint::plan_is_feasible;
+use hydra_core::{Allocation, AllocationProblem, SecurityTask, SecurityTaskSet};
+use proptest::prelude::*;
+use rt_core::{RtTask, TaskSet, Time};
+
+fn arb_rt_task() -> impl Strategy<Value = RtTask> {
+    // WCET 1..30 ms, period 20..500 ms, utilisation ≤ 0.5 per task.
+    (1_000u64..=30_000, 20_000u64..=500_000).prop_map(|(c, t)| {
+        let c = c.min(t / 2);
+        RtTask::implicit_deadline(Time::from_micros(c.max(100)), Time::from_micros(t)).unwrap()
+    })
+}
+
+fn arb_sec_task() -> impl Strategy<Value = SecurityTask> {
+    // WCET 5..200 ms, desired period 500..3000 ms, T^max = 10·T^des.
+    (5_000u64..=200_000, 500_000u64..=3_000_000).prop_map(|(c, tdes)| {
+        SecurityTask::new(
+            Time::from_micros(c),
+            Time::from_micros(tdes),
+            Time::from_micros(tdes * 10),
+        )
+        .unwrap()
+    })
+}
+
+fn arb_problem(max_cores: usize) -> impl Strategy<Value = AllocationProblem> {
+    (
+        prop::collection::vec(arb_rt_task(), 1..=8),
+        prop::collection::vec(arb_sec_task(), 1..=5),
+        1..=max_cores,
+    )
+        .prop_map(|(rt, sec, cores)| {
+            AllocationProblem::new(
+                TaskSet::new(rt),
+                SecurityTaskSet::new(sec),
+                cores,
+            )
+        })
+}
+
+/// Checks that every per-core security plan in `allocation` satisfies the
+/// period bounds and the Eq. (6) schedulability constraint.
+fn allocation_is_valid(problem: &AllocationProblem, allocation: &Allocation) -> bool {
+    for core in allocation.rt_partition().core_ids() {
+        let rt_bound = rt_interference_on(&problem.rt_tasks, allocation.rt_partition(), core);
+        let mut ids = allocation.security_tasks_on(core);
+        ids.sort_by_key(|&id| (problem.security_tasks[id].max_period(), id.0));
+        let tasks: Vec<&SecurityTask> = ids.iter().map(|&id| &problem.security_tasks[id]).collect();
+        let periods: Vec<Time> = ids.iter().map(|&id| allocation.period_of(id)).collect();
+        if !plan_is_feasible(&tasks, &rt_bound, &periods) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hydra_allocations_are_always_feasible(problem in arb_problem(4)) {
+        if let Ok(allocation) = HydraAllocator::default().allocate(&problem) {
+            prop_assert_eq!(allocation.len(), problem.security_tasks.len());
+            prop_assert!(allocation_is_valid(&problem, &allocation));
+            // Periods are within the designer bounds and tightness matches.
+            for (id, p) in allocation.iter() {
+                let task = &problem.security_tasks[id];
+                prop_assert!(p.period >= task.desired_period());
+                prop_assert!(p.period <= task.max_period());
+                prop_assert!((p.tightness - task.tightness(p.period)).abs() < 1e-9);
+                prop_assert!(p.core.0 < problem.cores);
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_allocations_are_always_feasible(problem in arb_problem(4)) {
+        if problem.cores >= 2 {
+            if let Ok(allocation) = SingleCoreAllocator::default().allocate(&problem) {
+                prop_assert!(allocation_is_valid(&problem, &allocation));
+                // The dedicated core hosts no real-time task.
+                let dedicated = SingleCoreAllocator::security_core(problem.cores);
+                prop_assert!(allocation.rt_partition().tasks_on(dedicated).is_empty());
+                for (_, p) in allocation.iter() {
+                    prop_assert_eq!(p.core, dedicated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hydra_accepts_everything_single_core_accepts(problem in arb_problem(3)) {
+        // The design-space claim behind Figure 2: whenever the SingleCore
+        // scheme schedules a workload, HYDRA (with every core at its
+        // disposal) schedules it too... except HYDRA partitions the RT tasks
+        // over M cores rather than M−1, which only makes the RT side easier,
+        // and security tasks keep at least the dedicated-core option among
+        // their choices only if that core is equally free — which best-fit
+        // packing guarantees here because an RT partition feasible on M−1
+        // cores is also produced on M cores leaving at least one core empty
+        // only under first-fit. We therefore check the weaker, still
+        // paper-relevant direction on the *same* RT partition width: if
+        // SingleCore succeeds, HYDRA must not fail on the RT side.
+        if problem.cores >= 2 {
+            if SingleCoreAllocator::default().allocate(&problem).is_ok() {
+                match HydraAllocator::default().allocate(&problem) {
+                    Ok(_) => {}
+                    Err(hydra_core::AllocationError::RtPartitionFailed { .. }) => {
+                        prop_assert!(false, "HYDRA failed to partition RT tasks that fit on fewer cores");
+                    }
+                    // A security-side failure is theoretically possible when
+                    // best-fit leaves no lightly-loaded core; it must be rare
+                    // but is not a soundness violation.
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_dominates_hydra_in_cumulative_tightness(
+        rt in prop::collection::vec(arb_rt_task(), 1..=6),
+        sec in prop::collection::vec(arb_sec_task(), 1..=4),
+        cores in 1usize..=2,
+    ) {
+        let problem = AllocationProblem::new(TaskSet::new(rt), SecurityTaskSet::new(sec), cores);
+        let hydra = HydraAllocator::default().allocate(&problem);
+        let optimal = OptimalAllocator::default().allocate(&problem);
+        if let (Ok(h), Ok(o)) = (hydra, optimal) {
+            let sec = &problem.security_tasks;
+            prop_assert!(
+                o.cumulative_tightness(sec) + 1e-6 >= h.cumulative_tightness(sec),
+                "optimal {} < hydra {}",
+                o.cumulative_tightness(sec),
+                h.cumulative_tightness(sec)
+            );
+            prop_assert!(allocation_is_valid(&problem, &o));
+        }
+    }
+
+    #[test]
+    fn hydra_is_deterministic(problem in arb_problem(4)) {
+        let a = HydraAllocator::default().allocate(&problem);
+        let b = HydraAllocator::default().allocate(&problem);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adding_a_core_never_hurts_hydra_feasibility(problem in arb_problem(3)) {
+        // More cores = strictly more placement options with no extra
+        // interference anywhere, and the RT best-fit partition can only
+        // spread out further.
+        if HydraAllocator::default().allocate(&problem).is_ok() {
+            let bigger = AllocationProblem::new(
+                problem.rt_tasks.clone(),
+                problem.security_tasks.clone(),
+                problem.cores + 1,
+            );
+            // Note: best-fit RT packing on more cores produces a partition at
+            // most as loaded per core, so a feasible smaller platform implies
+            // a feasible larger one.
+            prop_assert!(HydraAllocator::default().allocate(&bigger).is_ok());
+        }
+    }
+
+    #[test]
+    fn cumulative_tightness_bounded_by_total_weight(problem in arb_problem(4)) {
+        if let Ok(allocation) = HydraAllocator::default().allocate(&problem) {
+            let total = allocation.cumulative_tightness(&problem.security_tasks);
+            prop_assert!(total <= problem.security_tasks.total_weight() + 1e-9);
+            prop_assert!(total >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Monomial and posynomial expressions over positive variables.
+//!
+//! A *monomial* is `c · x_0^{a_0} · x_1^{a_1} · … · x_{n−1}^{a_{n−1}}` with a
+//! positive coefficient `c > 0` and arbitrary real exponents. A *posynomial*
+//! is a sum of monomials. In log-space (`y_i = log x_i`) a monomial becomes
+//! the affine function `log c + a · y` and a posynomial becomes a log-sum-exp
+//! of affine functions, which is smooth and convex — the property the solver
+//! relies on.
+
+use core::fmt;
+
+/// A monomial `c · Π x_i^{a_i}` with positive coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    coefficient: f64,
+    exponents: Vec<f64>,
+}
+
+impl Monomial {
+    /// Creates a monomial with the given coefficient and per-variable
+    /// exponents (`exponents[i]` is the exponent of variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient is not strictly positive and finite.
+    #[must_use]
+    pub fn new(coefficient: f64, exponents: Vec<f64>) -> Self {
+        assert!(
+            coefficient.is_finite() && coefficient > 0.0,
+            "monomial coefficients must be positive and finite, got {coefficient}"
+        );
+        assert!(
+            exponents.iter().all(|e| e.is_finite()),
+            "monomial exponents must be finite"
+        );
+        Monomial {
+            coefficient,
+            exponents,
+        }
+    }
+
+    /// A constant monomial `c` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive and finite.
+    #[must_use]
+    pub fn constant(c: f64, num_vars: usize) -> Self {
+        Monomial::new(c, vec![0.0; num_vars])
+    }
+
+    /// The monomial `c · x_var` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive and finite or `var` is out of
+    /// range.
+    #[must_use]
+    pub fn variable(c: f64, var: usize, num_vars: usize) -> Self {
+        assert!(var < num_vars, "variable index {var} out of range");
+        let mut exps = vec![0.0; num_vars];
+        exps[var] = 1.0;
+        Monomial::new(c, exps)
+    }
+
+    /// The monomial `c / x_var` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive and finite or `var` is out of
+    /// range.
+    #[must_use]
+    pub fn inverse_variable(c: f64, var: usize, num_vars: usize) -> Self {
+        assert!(var < num_vars, "variable index {var} out of range");
+        let mut exps = vec![0.0; num_vars];
+        exps[var] = -1.0;
+        Monomial::new(c, exps)
+    }
+
+    /// Coefficient `c`.
+    #[must_use]
+    pub fn coefficient(&self) -> f64 {
+        self.coefficient
+    }
+
+    /// Per-variable exponents.
+    #[must_use]
+    pub fn exponents(&self) -> &[f64] {
+        &self.exponents
+    }
+
+    /// Number of variables this monomial is defined over.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// Evaluates the monomial at the (positive) point `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of variables.
+    #[must_use]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.exponents.len(), "dimension mismatch");
+        let mut v = self.coefficient;
+        for (xi, ai) in x.iter().zip(&self.exponents) {
+            if *ai != 0.0 {
+                v *= xi.powf(*ai);
+            }
+        }
+        v
+    }
+
+    /// Evaluates `log(monomial)` at the log-space point `y = log x`:
+    /// `log c + a · y`.
+    #[must_use]
+    pub fn eval_log(&self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.exponents.len(), "dimension mismatch");
+        self.coefficient.ln()
+            + y.iter()
+                .zip(&self.exponents)
+                .map(|(yi, ai)| yi * ai)
+                .sum::<f64>()
+    }
+
+    /// Multiplies two monomials (coefficients multiply, exponents add).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn product(&self, other: &Monomial) -> Monomial {
+        assert_eq!(self.num_vars(), other.num_vars(), "dimension mismatch");
+        Monomial::new(
+            self.coefficient * other.coefficient,
+            self.exponents
+                .iter()
+                .zip(&other.exponents)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// The reciprocal monomial `1 / m`.
+    #[must_use]
+    pub fn reciprocal(&self) -> Monomial {
+        Monomial::new(
+            1.0 / self.coefficient,
+            self.exponents.iter().map(|a| -a).collect(),
+        )
+    }
+
+    /// Scales the coefficient by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Monomial {
+        Monomial::new(self.coefficient * factor, self.exponents.clone())
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.coefficient)?;
+        for (i, a) in self.exponents.iter().enumerate() {
+            if *a != 0.0 {
+                write!(f, "·x{i}^{a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A posynomial: a sum of monomials over the same variable vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posynomial {
+    terms: Vec<Monomial>,
+    num_vars: usize,
+}
+
+impl Posynomial {
+    /// Creates an empty posynomial (identically zero) over `num_vars`
+    /// variables. Note that the zero posynomial is not a valid GP objective
+    /// or constraint body; add terms before using it.
+    #[must_use]
+    pub fn zero(num_vars: usize) -> Self {
+        Posynomial {
+            terms: Vec::new(),
+            num_vars,
+        }
+    }
+
+    /// Creates a posynomial from a list of monomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or the monomials have inconsistent
+    /// dimensions.
+    #[must_use]
+    pub fn new(terms: Vec<Monomial>) -> Self {
+        assert!(!terms.is_empty(), "a posynomial needs at least one term");
+        let num_vars = terms[0].num_vars();
+        assert!(
+            terms.iter().all(|t| t.num_vars() == num_vars),
+            "all monomials must range over the same variables"
+        );
+        Posynomial { terms, num_vars }
+    }
+
+    /// Adds a monomial term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension of `term` is inconsistent with terms already
+    /// present (an empty posynomial adopts the dimension of the first term,
+    /// provided it matches `num_vars` given at construction).
+    pub fn push(&mut self, term: Monomial) {
+        assert_eq!(
+            term.num_vars(),
+            self.num_vars,
+            "monomial dimension {} does not match posynomial dimension {}",
+            term.num_vars(),
+            self.num_vars
+        );
+        self.terms.push(term);
+    }
+
+    /// The monomial terms.
+    #[must_use]
+    pub fn terms(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Whether the posynomial has no terms.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the posynomial at the positive point `x`.
+    #[must_use]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.terms.iter().map(|t| t.eval(x)).sum()
+    }
+
+    /// Evaluates `log(posynomial)` at the log-space point `y = log x` using a
+    /// numerically stable log-sum-exp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the posynomial is empty.
+    #[must_use]
+    pub fn eval_log(&self, y: &[f64]) -> f64 {
+        assert!(!self.terms.is_empty(), "cannot evaluate an empty posynomial");
+        let logs: Vec<f64> = self.terms.iter().map(|t| t.eval_log(y)).collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Gradient of `log(posynomial)` with respect to `y` at the log-space
+    /// point `y`: a convex combination of the monomial exponent vectors,
+    /// weighted by the softmax of the per-term log values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the posynomial is empty.
+    #[must_use]
+    pub fn grad_log(&self, y: &[f64]) -> Vec<f64> {
+        assert!(!self.terms.is_empty(), "cannot differentiate an empty posynomial");
+        let logs: Vec<f64> = self.terms.iter().map(|t| t.eval_log(y)).collect();
+        let lse = log_sum_exp(&logs);
+        let mut grad = vec![0.0; self.num_vars];
+        for (term, lg) in self.terms.iter().zip(&logs) {
+            let w = (lg - lse).exp();
+            for (g, a) in grad.iter_mut().zip(term.exponents()) {
+                *g += w * a;
+            }
+        }
+        grad
+    }
+
+    /// Sum of two posynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn sum(&self, other: &Posynomial) -> Posynomial {
+        assert_eq!(self.num_vars, other.num_vars, "dimension mismatch");
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        Posynomial {
+            terms,
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// Multiplies every term by a monomial (posynomial × monomial is still a
+    /// posynomial).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn times_monomial(&self, m: &Monomial) -> Posynomial {
+        Posynomial {
+            terms: self.terms.iter().map(|t| t.product(m)).collect(),
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// Scales every coefficient by `factor > 0`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Posynomial {
+        Posynomial {
+            terms: self.terms.iter().map(|t| t.scaled(factor)).collect(),
+            num_vars: self.num_vars,
+        }
+    }
+}
+
+impl From<Monomial> for Posynomial {
+    fn from(m: Monomial) -> Self {
+        Posynomial::new(vec![m])
+    }
+}
+
+impl fmt::Display for Posynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// Numerically stable `log(Σ exp(v_i))`.
+#[must_use]
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    max + values.iter().map(|v| (v - max).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_eval_matches_definition() {
+        // 2 · x0^2 · x1^-1 at (3, 4) = 2·9/4 = 4.5
+        let m = Monomial::new(2.0, vec![2.0, -1.0]);
+        assert!((m.eval(&[3.0, 4.0]) - 4.5).abs() < 1e-12);
+        assert_eq!(m.num_vars(), 2);
+    }
+
+    #[test]
+    fn monomial_log_eval_consistent_with_eval() {
+        let m = Monomial::new(0.5, vec![1.5, -0.25, 3.0]);
+        let x: [f64; 3] = [2.0, 5.0, 1.3];
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        assert!((m.eval_log(&y) - m.eval(&x).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_coefficient_rejected() {
+        let _ = Monomial::new(0.0, vec![1.0]);
+    }
+
+    #[test]
+    fn monomial_constructors() {
+        let c = Monomial::constant(3.0, 2);
+        assert_eq!(c.eval(&[7.0, 11.0]), 3.0);
+        let v = Monomial::variable(2.0, 1, 2);
+        assert_eq!(v.eval(&[7.0, 11.0]), 22.0);
+        let iv = Monomial::inverse_variable(2.0, 0, 2);
+        assert!((iv.eval(&[4.0, 11.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monomial_algebra() {
+        let a = Monomial::new(2.0, vec![1.0, 0.0]);
+        let b = Monomial::new(3.0, vec![-1.0, 2.0]);
+        let p = a.product(&b);
+        assert_eq!(p.coefficient(), 6.0);
+        assert_eq!(p.exponents(), &[0.0, 2.0]);
+        let r = b.reciprocal();
+        assert!((r.eval(&[2.0, 3.0]) * b.eval(&[2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(a.scaled(2.0).coefficient(), 4.0);
+    }
+
+    #[test]
+    fn posynomial_eval_and_sum() {
+        let p = Posynomial::new(vec![
+            Monomial::new(1.0, vec![1.0]),
+            Monomial::new(2.0, vec![-1.0]),
+        ]);
+        // x + 2/x at x = 2 → 2 + 1 = 3
+        assert!((p.eval(&[2.0]) - 3.0).abs() < 1e-12);
+        let q = Posynomial::from(Monomial::constant(1.0, 1));
+        assert!((p.sum(&q).eval(&[2.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posynomial_log_eval_matches_direct() {
+        let p = Posynomial::new(vec![
+            Monomial::new(1.5, vec![1.0, 0.5]),
+            Monomial::new(0.3, vec![-2.0, 1.0]),
+            Monomial::constant(2.0, 2),
+        ]);
+        let x: [f64; 2] = [0.7, 3.2];
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        assert!((p.eval_log(&y) - p.eval(&x).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn grad_log_matches_finite_differences() {
+        let p = Posynomial::new(vec![
+            Monomial::new(1.5, vec![1.0, 0.5]),
+            Monomial::new(0.3, vec![-2.0, 1.0]),
+            Monomial::constant(2.0, 2),
+        ]);
+        let y = [0.3, -0.7];
+        let grad = p.grad_log(&y);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let fd = (p.eval_log(&yp) - p.eval_log(&ym)) / (2.0 * h);
+            assert!(
+                (grad[i] - fd).abs() < 1e-5,
+                "gradient component {i}: analytic {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn times_monomial_distributes() {
+        let p = Posynomial::new(vec![
+            Monomial::new(1.0, vec![1.0]),
+            Monomial::constant(3.0, 1),
+        ]);
+        let m = Monomial::inverse_variable(1.0, 0, 1);
+        let q = p.times_monomial(&m);
+        // (x + 3)/x at x = 2 → 2.5
+        assert!((q.eval(&[2.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_checks_dimensions() {
+        let mut p = Posynomial::zero(2);
+        assert!(p.is_empty());
+        p.push(Monomial::constant(1.0, 2));
+        assert_eq!(p.terms().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn push_wrong_dimension_panics() {
+        let mut p = Posynomial::zero(2);
+        p.push(Monomial::constant(1.0, 3));
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        let v = [1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = Posynomial::new(vec![Monomial::new(2.0, vec![1.0, -1.0])]);
+        assert!(!p.to_string().is_empty());
+        assert_eq!(Posynomial::zero(1).to_string(), "0");
+    }
+}

@@ -1,0 +1,51 @@
+//! # gp-solver — a small geometric-programming solver
+//!
+//! The HYDRA paper casts its period-adaptation problem as a geometric program
+//! (GP) and solves it with GPkit/CVXOPT. This crate is the corresponding
+//! substrate: it models monomials and posynomials over a vector of positive
+//! variables, transforms a GP in standard form into a smooth convex problem
+//! in log-space, and solves it with a penalty method driven by gradient
+//! descent with backtracking line search.
+//!
+//! The problems produced by the HYDRA reproduction are tiny (one variable per
+//! security task on a core, i.e. at most a dozen variables), so a compact
+//! first-order method reaches more than enough accuracy; no external solver
+//! is required.
+//!
+//! A GP in standard form is
+//!
+//! ```text
+//! minimise    f0(x)                (posynomial)
+//! subject to  fi(x) ≤ 1            (posynomials)
+//!             gj(x) = 1            (monomials)
+//!             x > 0
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use gp_solver::{GpProblem, Monomial, Posynomial};
+//!
+//! # fn main() -> Result<(), gp_solver::GpError> {
+//! // minimise 1/x  subject to  x ≤ 4   (so the optimum is x = 4)
+//! let mut problem = GpProblem::new(1);
+//! problem.set_objective(Posynomial::from(Monomial::new(1.0, vec![-1.0])));
+//! problem.add_constraint_le(Posynomial::from(Monomial::new(0.25, vec![1.0])));
+//! let solution = problem.solve(&Default::default())?;
+//! assert!((solution.values[0] - 4.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod expr;
+pub mod problem;
+pub mod scalar;
+pub mod solve;
+
+pub use expr::{Monomial, Posynomial};
+pub use problem::{GpError, GpProblem, GpSolution, GpStatus};
+pub use solve::SolverOptions;

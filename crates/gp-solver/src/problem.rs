@@ -1,0 +1,298 @@
+//! Geometric programs in standard form and their solutions.
+
+use core::fmt;
+
+use crate::expr::{Monomial, Posynomial};
+use crate::solve::{solve_penalty, SolverOptions};
+
+/// Errors raised while building or solving a geometric program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// The objective was never set (or is empty).
+    MissingObjective,
+    /// A constraint or objective ranges over a different number of variables
+    /// than the problem.
+    DimensionMismatch {
+        /// Expected number of variables.
+        expected: usize,
+        /// Number of variables found in the offending expression.
+        found: usize,
+    },
+    /// The problem has no feasible point (detected by the phase-1 search).
+    Infeasible,
+    /// The iteration limit was reached before convergence.
+    DidNotConverge,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::MissingObjective => write!(f, "objective posynomial was not set"),
+            GpError::DimensionMismatch { expected, found } => write!(
+                f,
+                "expression over {found} variables used in a problem with {expected} variables"
+            ),
+            GpError::Infeasible => write!(f, "no feasible point satisfies all constraints"),
+            GpError::DidNotConverge => {
+                write!(f, "solver reached its iteration limit before converging")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpStatus {
+    /// Converged to a point satisfying all constraints within tolerance.
+    Optimal,
+    /// Converged, but some constraint is violated beyond tolerance — the
+    /// problem is (numerically) infeasible.
+    Infeasible,
+}
+
+/// Solution of a geometric program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpSolution {
+    /// Status of the solve.
+    pub status: GpStatus,
+    /// Optimal variable values (in the original, not log, space).
+    pub values: Vec<f64>,
+    /// Objective value at `values`.
+    pub objective: f64,
+    /// Largest constraint violation `max_i (f_i(x) − 1)` at `values`
+    /// (non-positive when feasible up to rounding).
+    pub max_violation: f64,
+    /// Number of gradient iterations used across all penalty stages.
+    pub iterations: usize,
+}
+
+impl GpSolution {
+    /// Whether the solution satisfies every constraint within the solver's
+    /// feasibility tolerance.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.status == GpStatus::Optimal
+    }
+}
+
+/// A geometric program in standard form.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct GpProblem {
+    num_vars: usize,
+    objective: Option<Posynomial>,
+    le_constraints: Vec<Posynomial>,
+    eq_constraints: Vec<Monomial>,
+    initial_point: Option<Vec<f64>>,
+}
+
+impl GpProblem {
+    /// Creates a problem over `num_vars` positive variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` is zero.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars > 0, "a geometric program needs at least one variable");
+        GpProblem {
+            num_vars,
+            objective: None,
+            le_constraints: Vec::new(),
+            eq_constraints: Vec::new(),
+            initial_point: None,
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Sets the posynomial objective (to be minimised).
+    pub fn set_objective(&mut self, objective: Posynomial) {
+        self.objective = Some(objective);
+    }
+
+    /// Adds the constraint `posynomial ≤ 1`.
+    pub fn add_constraint_le(&mut self, constraint: Posynomial) {
+        self.le_constraints.push(constraint);
+    }
+
+    /// Adds the constraint `monomial = 1` (internally expanded into the two
+    /// posynomial constraints `m ≤ 1` and `1/m ≤ 1`).
+    pub fn add_constraint_eq(&mut self, constraint: Monomial) {
+        self.eq_constraints.push(constraint);
+    }
+
+    /// Adds the box constraint `lower ≤ x_var ≤ upper` as two monomial
+    /// constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not positive and ordered, or `var` is out of
+    /// range.
+    pub fn add_bounds(&mut self, var: usize, lower: f64, upper: f64) {
+        assert!(var < self.num_vars, "variable index {var} out of range");
+        assert!(
+            lower > 0.0 && upper >= lower && upper.is_finite(),
+            "bounds must satisfy 0 < lower ≤ upper < ∞, got [{lower}, {upper}]"
+        );
+        // lower / x ≤ 1
+        self.add_constraint_le(Posynomial::from(Monomial::inverse_variable(
+            lower,
+            var,
+            self.num_vars,
+        )));
+        // x / upper ≤ 1
+        self.add_constraint_le(Posynomial::from(Monomial::variable(
+            1.0 / upper,
+            var,
+            self.num_vars,
+        )));
+    }
+
+    /// Provides an initial (positive) point for the solver. A good warm start
+    /// is not required but speeds up convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimension or non-positive entries.
+    pub fn set_initial_point(&mut self, point: Vec<f64>) {
+        assert_eq!(point.len(), self.num_vars, "initial point dimension mismatch");
+        assert!(
+            point.iter().all(|v| *v > 0.0 && v.is_finite()),
+            "initial point must be strictly positive and finite"
+        );
+        self.initial_point = Some(point);
+    }
+
+    /// Inequality constraints (`≤ 1` bodies), including the expansion of any
+    /// equality constraints.
+    #[must_use]
+    pub fn all_le_constraints(&self) -> Vec<Posynomial> {
+        let mut all = self.le_constraints.clone();
+        for eq in &self.eq_constraints {
+            all.push(Posynomial::from(eq.clone()));
+            all.push(Posynomial::from(eq.reciprocal()));
+        }
+        all
+    }
+
+    /// Objective, if set.
+    #[must_use]
+    pub fn objective(&self) -> Option<&Posynomial> {
+        self.objective.as_ref()
+    }
+
+    /// Initial point, if set.
+    #[must_use]
+    pub fn initial_point(&self) -> Option<&[f64]> {
+        self.initial_point.as_deref()
+    }
+
+    fn validate(&self) -> Result<&Posynomial, GpError> {
+        let objective = self
+            .objective
+            .as_ref()
+            .filter(|o| !o.is_empty())
+            .ok_or(GpError::MissingObjective)?;
+        if objective.num_vars() != self.num_vars {
+            return Err(GpError::DimensionMismatch {
+                expected: self.num_vars,
+                found: objective.num_vars(),
+            });
+        }
+        for c in &self.le_constraints {
+            if c.num_vars() != self.num_vars {
+                return Err(GpError::DimensionMismatch {
+                    expected: self.num_vars,
+                    found: c.num_vars(),
+                });
+            }
+        }
+        for c in &self.eq_constraints {
+            if c.num_vars() != self.num_vars {
+                return Err(GpError::DimensionMismatch {
+                    expected: self.num_vars,
+                    found: c.num_vars(),
+                });
+            }
+        }
+        Ok(objective)
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::MissingObjective`] or [`GpError::DimensionMismatch`]
+    /// for malformed problems. Numerical infeasibility is reported through
+    /// [`GpSolution::status`], not as an error, so callers can still inspect
+    /// the best point found.
+    pub fn solve(&self, options: &SolverOptions) -> Result<GpSolution, GpError> {
+        let objective = self.validate()?;
+        Ok(solve_penalty(
+            objective,
+            &self.all_le_constraints(),
+            self.initial_point.as_deref(),
+            options,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_objective_is_an_error() {
+        let p = GpProblem::new(1);
+        assert_eq!(
+            p.solve(&SolverOptions::default()),
+            Err(GpError::MissingObjective)
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let mut p = GpProblem::new(2);
+        p.set_objective(Posynomial::from(Monomial::new(1.0, vec![1.0])));
+        assert!(matches!(
+            p.solve(&SolverOptions::default()),
+            Err(GpError::DimensionMismatch { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn bounds_expand_to_two_constraints() {
+        let mut p = GpProblem::new(1);
+        p.add_bounds(0, 2.0, 8.0);
+        assert_eq!(p.all_le_constraints().len(), 2);
+    }
+
+    #[test]
+    fn equality_expands_to_two_constraints() {
+        let mut p = GpProblem::new(2);
+        p.add_constraint_eq(Monomial::new(1.0, vec![1.0, -1.0]));
+        assert_eq!(p.all_le_constraints().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must satisfy")]
+    fn inverted_bounds_panic() {
+        let mut p = GpProblem::new(1);
+        p.add_bounds(0, 8.0, 2.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GpError::Infeasible.to_string().contains("feasible"));
+        assert!(GpError::DidNotConverge.to_string().contains("iteration"));
+    }
+}

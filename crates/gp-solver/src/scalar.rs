@@ -1,0 +1,188 @@
+//! Closed-form solutions for single-variable fractional-linear programs.
+//!
+//! The per-task period-adaptation problem of the HYDRA paper (Eq. 7) has the
+//! shape
+//!
+//! ```text
+//! minimise x   subject to   lower ≤ x ≤ upper,   a + b·x ≤ x
+//! ```
+//!
+//! with `a ≥ 0` (the constant part of the interference plus the task's own
+//! WCET) and `b ≥ 0` (the utilisation of the interfering tasks). Because
+//! maximising the tightness `lower / x` is the same as minimising `x`, the
+//! optimum is simply the smallest feasible `x`, which has a closed form:
+//! `x* = max(lower, a / (1 − b))`, feasible iff `b < 1` and `x* ≤ upper`.
+//! This module provides that closed form so the hot path of the HYDRA
+//! allocator does not need the iterative solver; the iterative GP solver is
+//! still used (and cross-checked against this) for the joint multi-variable
+//! problem of the optimal baseline.
+
+use core::fmt;
+
+/// Outcome of [`minimize_linear_fractional`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScalarSolution {
+    /// The smallest feasible value of the variable.
+    Feasible(f64),
+    /// No value in `[lower, upper]` satisfies the constraint.
+    Infeasible,
+}
+
+impl ScalarSolution {
+    /// The feasible value, if any.
+    #[must_use]
+    pub fn value(self) -> Option<f64> {
+        match self {
+            ScalarSolution::Feasible(v) => Some(v),
+            ScalarSolution::Infeasible => None,
+        }
+    }
+
+    /// Whether a feasible value exists.
+    #[must_use]
+    pub fn is_feasible(self) -> bool {
+        matches!(self, ScalarSolution::Feasible(_))
+    }
+}
+
+impl fmt::Display for ScalarSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarSolution::Feasible(v) => write!(f, "feasible at {v}"),
+            ScalarSolution::Infeasible => write!(f, "infeasible"),
+        }
+    }
+}
+
+/// Minimises `x` subject to `lower ≤ x ≤ upper` and `a + b·x ≤ x`.
+///
+/// Returns the smallest feasible `x`, or [`ScalarSolution::Infeasible`] when
+/// the constraint set is empty (`b ≥ 1`, or the required value exceeds
+/// `upper`).
+///
+/// # Panics
+///
+/// Panics if `lower`, `upper`, `a` or `b` is negative or not finite, or if
+/// `lower > upper` or `lower` is zero.
+#[must_use]
+pub fn minimize_linear_fractional(lower: f64, upper: f64, a: f64, b: f64) -> ScalarSolution {
+    assert!(
+        lower.is_finite() && upper.is_finite() && a.is_finite() && b.is_finite(),
+        "all parameters must be finite"
+    );
+    assert!(lower > 0.0, "lower bound must be positive, got {lower}");
+    assert!(upper >= lower, "upper bound {upper} below lower bound {lower}");
+    assert!(a >= 0.0 && b >= 0.0, "a and b must be non-negative");
+
+    if b >= 1.0 {
+        // The constraint a + b·x ≤ x can never hold for positive a (and for
+        // a = 0 only in the degenerate limit), so the problem is infeasible
+        // unless a == 0 and b == 1 exactly, which we still reject: an
+        // interfering load of 100% leaves no slack for the task itself.
+        return ScalarSolution::Infeasible;
+    }
+    let required = a / (1.0 - b);
+    let x = required.max(lower);
+    if x <= upper {
+        ScalarSolution::Feasible(x)
+    } else {
+        ScalarSolution::Infeasible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Monomial, Posynomial};
+    use crate::problem::GpProblem;
+    use crate::solve::SolverOptions;
+
+    #[test]
+    fn unconstrained_by_interference_returns_lower_bound() {
+        // No interference at all: the desired (lower) value is achievable.
+        let s = minimize_linear_fractional(10.0, 100.0, 2.0, 0.0);
+        assert_eq!(s, ScalarSolution::Feasible(10.0));
+    }
+
+    #[test]
+    fn interference_pushes_value_up() {
+        // a = 4, b = 0.5 → required 8; lower 5 → optimum 8.
+        let s = minimize_linear_fractional(5.0, 100.0, 4.0, 0.5);
+        assert_eq!(s, ScalarSolution::Feasible(8.0));
+    }
+
+    #[test]
+    fn infeasible_when_requirement_exceeds_upper() {
+        let s = minimize_linear_fractional(5.0, 7.9, 4.0, 0.5);
+        assert_eq!(s, ScalarSolution::Infeasible);
+        assert_eq!(s.value(), None);
+        assert!(!s.is_feasible());
+    }
+
+    #[test]
+    fn infeasible_when_interfering_load_saturates() {
+        assert_eq!(
+            minimize_linear_fractional(1.0, 1e9, 0.5, 1.0),
+            ScalarSolution::Infeasible
+        );
+        assert_eq!(
+            minimize_linear_fractional(1.0, 1e9, 0.5, 1.5),
+            ScalarSolution::Infeasible
+        );
+    }
+
+    #[test]
+    fn boundary_feasibility_at_upper() {
+        let s = minimize_linear_fractional(5.0, 8.0, 4.0, 0.5);
+        assert_eq!(s, ScalarSolution::Feasible(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be positive")]
+    fn zero_lower_bound_panics() {
+        let _ = minimize_linear_fractional(0.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below lower bound")]
+    fn inverted_bounds_panic() {
+        let _ = minimize_linear_fractional(2.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_iterative_gp_solver() {
+        // minimise T (equivalently maximise lower/T) subject to
+        // lower ≤ T ≤ upper and (a + b·T)/T ≤ 1, as a GP:
+        //   objective: T        (we minimise T directly; same optimiser)
+        //   constraint: a·T^-1 + b ≤ 1
+        let cases = [
+            (10.0, 200.0, 3.0, 0.4),
+            (50.0, 500.0, 20.0, 0.7),
+            (5.0, 50.0, 0.5, 0.05),
+            (100.0, 1000.0, 90.0, 0.2),
+        ];
+        for (lower, upper, a, b) in cases {
+            let closed = minimize_linear_fractional(lower, upper, a, b)
+                .value()
+                .expect("cases are feasible");
+
+            let mut p = GpProblem::new(1);
+            p.set_objective(Posynomial::from(Monomial::new(1.0, vec![1.0])));
+            // a/T + b ≤ 1
+            p.add_constraint_le(Posynomial::new(vec![
+                Monomial::new(a.max(1e-12), vec![-1.0]),
+                Monomial::constant(b.max(1e-12), 1),
+            ]));
+            p.add_bounds(0, lower, upper);
+            p.set_initial_point(vec![upper]);
+            let s = p.solve(&SolverOptions::default()).unwrap();
+            assert!(s.is_feasible());
+            let rel = (s.values[0] - closed).abs() / closed;
+            assert!(
+                rel < 1e-3,
+                "GP solver {} vs closed form {closed} (case a={a}, b={b})",
+                s.values[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the geometric-programming solver.
+
+use gp_solver::scalar::{minimize_linear_fractional, ScalarSolution};
+use gp_solver::{GpProblem, Monomial, Posynomial, SolverOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn monomial_eval_log_consistency(
+        c in 0.01f64..100.0,
+        e0 in -3.0f64..3.0,
+        e1 in -3.0f64..3.0,
+        x0 in 0.1f64..10.0,
+        x1 in 0.1f64..10.0,
+    ) {
+        let m = Monomial::new(c, vec![e0, e1]);
+        let direct = m.eval(&[x0, x1]).ln();
+        let logspace = m.eval_log(&[x0.ln(), x1.ln()]);
+        prop_assert!((direct - logspace).abs() < 1e-8);
+    }
+
+    #[test]
+    fn posynomial_is_monotone_in_coefficients(
+        c in 0.01f64..10.0,
+        extra in 0.01f64..10.0,
+        x in 0.1f64..10.0,
+    ) {
+        let p = Posynomial::new(vec![Monomial::new(c, vec![1.0])]);
+        let q = p.sum(&Posynomial::from(Monomial::constant(extra, 1)));
+        prop_assert!(q.eval(&[x]) > p.eval(&[x]));
+    }
+
+    #[test]
+    fn scalar_solution_satisfies_all_constraints(
+        lower in 1.0f64..100.0,
+        span in 1.0f64..1000.0,
+        a in 0.0f64..200.0,
+        b in 0.0f64..1.5,
+    ) {
+        let upper = lower + span;
+        match minimize_linear_fractional(lower, upper, a, b) {
+            ScalarSolution::Feasible(x) => {
+                prop_assert!(x >= lower - 1e-9);
+                prop_assert!(x <= upper + 1e-9);
+                prop_assert!(a + b * x <= x + 1e-6);
+            }
+            ScalarSolution::Infeasible => {
+                // The most generous candidate is x = upper; it must violate
+                // the linear constraint (otherwise the problem was feasible).
+                prop_assert!(a + b * upper > upper - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_solution_is_minimal(
+        lower in 1.0f64..100.0,
+        span in 1.0f64..1000.0,
+        a in 0.0f64..200.0,
+        b in 0.0f64..0.95,
+    ) {
+        let upper = lower + span;
+        if let ScalarSolution::Feasible(x) = minimize_linear_fractional(lower, upper, a, b) {
+            // Any strictly smaller value within the box violates the linear
+            // constraint, unless x is already at the lower bound.
+            if x > lower + 1e-9 {
+                let smaller = (x - 1e-6).max(lower);
+                prop_assert!(a + b * smaller > smaller - 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gp_minimum_of_bounded_variable_is_lower_bound(
+        lower in 0.5f64..10.0,
+        span in 0.5f64..20.0,
+    ) {
+        let upper = lower + span;
+        let mut p = GpProblem::new(1);
+        p.set_objective(Posynomial::from(Monomial::new(1.0, vec![1.0])));
+        p.add_bounds(0, lower, upper);
+        let s = p.solve(&SolverOptions::default()).unwrap();
+        prop_assert!(s.is_feasible());
+        prop_assert!((s.values[0] - lower).abs() / lower < 1e-2);
+    }
+
+    #[test]
+    fn gp_maximum_of_bounded_variable_is_upper_bound(
+        lower in 0.5f64..10.0,
+        span in 0.5f64..20.0,
+    ) {
+        let upper = lower + span;
+        // maximise x == minimise 1/x
+        let mut p = GpProblem::new(1);
+        p.set_objective(Posynomial::from(Monomial::new(1.0, vec![-1.0])));
+        p.add_bounds(0, lower, upper);
+        let s = p.solve(&SolverOptions::default()).unwrap();
+        prop_assert!(s.is_feasible());
+        prop_assert!((s.values[0] - upper).abs() / upper < 1e-2);
+    }
+
+    #[test]
+    fn solver_result_never_violates_constraints_when_optimal(
+        a in 0.1f64..5.0,
+        b in 0.1f64..0.9,
+        lower in 1.0f64..10.0,
+    ) {
+        // minimise x subject to a/x + b ≤ 1 and x ≥ lower.
+        let mut p = GpProblem::new(1);
+        p.set_objective(Posynomial::from(Monomial::new(1.0, vec![1.0])));
+        p.add_constraint_le(Posynomial::new(vec![
+            Monomial::new(a, vec![-1.0]),
+            Monomial::constant(b, 1),
+        ]));
+        p.add_constraint_le(Posynomial::from(Monomial::new(lower, vec![-1.0])));
+        let s = p.solve(&SolverOptions::default()).unwrap();
+        if s.is_feasible() {
+            let x = s.values[0];
+            prop_assert!(a / x + b <= 1.0 + 1e-4);
+            prop_assert!(x >= lower - 1e-4);
+            // Optimal value matches the closed form max(lower, a/(1-b)).
+            let expected = (a / (1.0 - b)).max(lower);
+            prop_assert!((x - expected).abs() / expected < 5e-3,
+                "x = {x}, expected {expected}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by the `rt-core` crate.
+
+use core::fmt;
+
+use crate::time::Time;
+
+/// Errors produced while constructing or analysing real-time task sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtError {
+    /// A task was constructed with a zero worst-case execution time.
+    ZeroWcet,
+    /// A task was constructed with a zero period.
+    ZeroPeriod,
+    /// A task was constructed with a zero relative deadline.
+    ZeroDeadline,
+    /// The worst-case execution time exceeds the relative deadline, so the
+    /// task can never meet its deadline even in isolation.
+    WcetExceedsDeadline {
+        /// Offending worst-case execution time.
+        wcet: Time,
+        /// Relative deadline that is too small.
+        deadline: Time,
+    },
+    /// The relative deadline exceeds the period (constrained-deadline model
+    /// required by the analysis in this crate).
+    DeadlineExceedsPeriod {
+        /// Offending relative deadline.
+        deadline: Time,
+        /// Period that is smaller than the deadline.
+        period: Time,
+    },
+    /// A referenced task index was out of bounds for the task set.
+    UnknownTask {
+        /// Index that was requested.
+        index: usize,
+        /// Number of tasks in the set.
+        len: usize,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::ZeroWcet => write!(f, "worst-case execution time must be positive"),
+            RtError::ZeroPeriod => write!(f, "period must be positive"),
+            RtError::ZeroDeadline => write!(f, "relative deadline must be positive"),
+            RtError::WcetExceedsDeadline { wcet, deadline } => write!(
+                f,
+                "worst-case execution time {wcet} exceeds relative deadline {deadline}"
+            ),
+            RtError::DeadlineExceedsPeriod { deadline, period } => write!(
+                f,
+                "relative deadline {deadline} exceeds period {period}; only constrained deadlines are supported"
+            ),
+            RtError::UnknownTask { index, len } => {
+                write!(f, "task index {index} out of bounds for task set of size {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            RtError::ZeroWcet.to_string(),
+            RtError::ZeroPeriod.to_string(),
+            RtError::ZeroDeadline.to_string(),
+            RtError::WcetExceedsDeadline {
+                wcet: Time::from_millis(5),
+                deadline: Time::from_millis(2),
+            }
+            .to_string(),
+            RtError::DeadlineExceedsPeriod {
+                deadline: Time::from_millis(30),
+                period: Time::from_millis(20),
+            }
+            .to_string(),
+            RtError::UnknownTask { index: 7, len: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<RtError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Utilisation accounting helpers.
+//!
+//! These free functions complement the methods on [`RtTask`] / [`TaskSet`]
+//! with the aggregate quantities used throughout the experiments: per-core
+//! utilisation of a partition slice, the Liu & Layland rate-monotonic bound,
+//! and the hyperbolic bound of Bini & Buttazzo.
+
+use crate::task::{RtTask, TaskSet};
+
+/// Total utilisation of an arbitrary iterator of tasks.
+///
+/// # Example
+///
+/// ```
+/// use rt_core::{RtTask, Time};
+/// use rt_core::util::total_utilization;
+///
+/// # fn main() -> Result<(), rt_core::RtError> {
+/// let tasks = [
+///     RtTask::implicit_deadline(Time::from_millis(1), Time::from_millis(4))?,
+///     RtTask::implicit_deadline(Time::from_millis(1), Time::from_millis(2))?,
+/// ];
+/// assert!((total_utilization(tasks.iter()) - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn total_utilization<'a, I>(tasks: I) -> f64
+where
+    I: IntoIterator<Item = &'a RtTask>,
+{
+    tasks.into_iter().map(RtTask::utilization).sum()
+}
+
+/// The Liu & Layland rate-monotonic utilisation bound `n (2^{1/n} − 1)`.
+///
+/// A set of `n` implicit-deadline tasks is schedulable under preemptive
+/// rate-monotonic scheduling on one core if its utilisation does not exceed
+/// this bound. The bound is sufficient but not necessary.
+///
+/// Returns `0.0` for `n = 0` and tends to `ln 2 ≈ 0.693` as `n → ∞`.
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        let n = n as f64;
+        n * (2f64.powf(1.0 / n) - 1.0)
+    }
+}
+
+/// The hyperbolic bound of Bini & Buttazzo: a set of implicit-deadline tasks
+/// is RM-schedulable on one core if `Π (U_i + 1) ≤ 2`.
+///
+/// Sharper than the Liu & Layland bound, still only sufficient.
+#[must_use]
+pub fn hyperbolic_bound_holds<'a, I>(tasks: I) -> bool
+where
+    I: IntoIterator<Item = &'a RtTask>,
+{
+    let product: f64 = tasks
+        .into_iter()
+        .map(|t| t.utilization() + 1.0)
+        .product();
+    product <= 2.0 + 1e-12
+}
+
+/// Whether the task set passes the trivial necessary condition `U ≤ m` for a
+/// platform with `m` cores.
+#[must_use]
+pub fn utilization_fits_cores(tasks: &TaskSet, cores: usize) -> bool {
+    tasks.total_utilization() <= cores as f64 + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::RtTask;
+    use crate::time::Time;
+
+    fn task(c_ms: u64, t_ms: u64) -> RtTask {
+        RtTask::implicit_deadline(Time::from_millis(c_ms), Time::from_millis(t_ms)).unwrap()
+    }
+
+    #[test]
+    fn liu_layland_known_values() {
+        assert_eq!(liu_layland_bound(0), 0.0);
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284271247).abs() < 1e-9);
+        assert!((liu_layland_bound(3) - 0.7797631497).abs() < 1e-9);
+        // Monotone decreasing towards ln 2.
+        assert!(liu_layland_bound(100) > 2f64.ln());
+        assert!(liu_layland_bound(100) < liu_layland_bound(10));
+    }
+
+    #[test]
+    fn hyperbolic_bound_cases() {
+        // Two tasks at U = 0.41 each: (1.41)^2 = 1.9881 ≤ 2 → holds.
+        let ok = [task(41, 100), task(41, 100)];
+        assert!(hyperbolic_bound_holds(ok.iter()));
+        // Two tasks at U = 0.45 each: (1.45)^2 = 2.1025 > 2 → fails.
+        let not_ok = [task(45, 100), task(45, 100)];
+        assert!(!hyperbolic_bound_holds(not_ok.iter()));
+    }
+
+    #[test]
+    fn hyperbolic_no_sharper_than_ll_is_violated_here() {
+        // A set accepted by the hyperbolic bound but rejected by Liu & Layland:
+        // U = 0.7 + 0.15 = 0.85 > 0.828, product 1.7 · 1.15 = 1.955 ≤ 2.
+        let set = [task(7, 10), task(6, 40)];
+        let u = total_utilization(set.iter());
+        assert!(u > liu_layland_bound(2));
+        assert!(hyperbolic_bound_holds(set.iter()));
+    }
+
+    #[test]
+    fn utilization_fits_cores_boundary() {
+        let set: TaskSet = vec![task(10, 10), task(10, 10)].into_iter().collect();
+        assert!(utilization_fits_cores(&set, 2));
+        assert!(!utilization_fits_cores(&set, 1));
+    }
+
+    #[test]
+    fn total_utilization_of_empty_is_zero() {
+        assert_eq!(total_utilization(std::iter::empty()), 0.0);
+    }
+}

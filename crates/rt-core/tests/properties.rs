@@ -1,0 +1,153 @@
+//! Property-based tests for the rt-core substrate.
+
+use proptest::prelude::*;
+use rt_core::dbf::{demand_bound, necessary_condition_default_horizon, total_demand};
+use rt_core::hyperperiod::{gcd, hyperperiod, lcm};
+use rt_core::priority::{PriorityAssignment, PriorityPolicy};
+use rt_core::rta::{response_time, response_times, ResponseTime};
+use rt_core::util::{liu_layland_bound, total_utilization};
+use rt_core::{RtTask, TaskId, TaskSet, Time};
+
+fn arb_task() -> impl Strategy<Value = RtTask> {
+    // WCET in [100us, 50ms], period in [1ms, 1000ms], WCET ≤ period.
+    (100u64..=50_000, 1_000u64..=1_000_000).prop_filter_map(
+        "wcet must not exceed period",
+        |(c, t)| {
+            if c <= t {
+                RtTask::implicit_deadline(Time::from_micros(c), Time::from_micros(t)).ok()
+            } else {
+                None
+            }
+        },
+    )
+}
+
+fn arb_taskset(max_len: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(arb_task(), 1..=max_len).prop_map(TaskSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dbf_is_monotone_in_t(task in arb_task(), a in 0u64..2_000_000, b in 0u64..2_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d_lo = demand_bound(&task, Time::from_micros(lo));
+        let d_hi = demand_bound(&task, Time::from_micros(hi));
+        prop_assert!(d_lo <= d_hi);
+    }
+
+    #[test]
+    fn dbf_never_exceeds_utilization_bound_plus_one_job(task in arb_task(), t in 0u64..5_000_000) {
+        // DBF(t) ≤ (t/T + 1)·C for all t.
+        let t = Time::from_micros(t);
+        let d = demand_bound(&task, t);
+        let bound = t.as_ticks() as f64 * task.utilization() + task.wcet().as_ticks() as f64;
+        prop_assert!(d.as_ticks() as f64 <= bound + 1e-6);
+    }
+
+    #[test]
+    fn total_demand_is_sum_of_parts(set in arb_taskset(6), t in 0u64..3_000_000) {
+        let t = Time::from_micros(t);
+        let sum: u64 = set.tasks().map(|task| demand_bound(task, t).as_ticks()).sum();
+        prop_assert_eq!(total_demand(&set, t).as_ticks(), sum);
+    }
+
+    #[test]
+    fn rm_priorities_are_distinct_and_period_ordered(set in arb_taskset(10)) {
+        let pa = PriorityAssignment::assign(&set, PriorityPolicy::RateMonotonic);
+        prop_assert!(pa.is_distinct());
+        let order = pa.ids_by_priority();
+        for w in order.windows(2) {
+            prop_assert!(set[w[0]].period() <= set[w[1]].period());
+        }
+    }
+
+    #[test]
+    fn response_time_at_least_wcet_and_within_deadline(set in arb_taskset(6)) {
+        let pa = PriorityAssignment::assign(&set, PriorityPolicy::RateMonotonic);
+        for (id, task) in set.iter() {
+            if let ResponseTime::Schedulable(r) = response_time(&set, &pa, id) {
+                prop_assert!(r >= task.wcet());
+                prop_assert!(r <= task.deadline());
+            }
+        }
+    }
+
+    #[test]
+    fn highest_priority_task_response_equals_wcet(set in arb_taskset(6)) {
+        let pa = PriorityAssignment::assign(&set, PriorityPolicy::RateMonotonic);
+        let top = pa.ids_by_priority()[0];
+        let r = response_time(&set, &pa, top);
+        prop_assert_eq!(r, ResponseTime::Schedulable(set[top].wcet()));
+    }
+
+    #[test]
+    fn adding_a_task_never_improves_response_times(set in arb_taskset(5), extra in arb_task()) {
+        let pa_before = PriorityAssignment::assign(&set, PriorityPolicy::RateMonotonic);
+        let before = response_times(&set, &pa_before);
+        let mut bigger = set.clone();
+        bigger.push(extra);
+        let pa_after = PriorityAssignment::assign(&bigger, PriorityPolicy::RateMonotonic);
+        for id in set.ids() {
+            let after = response_time(&bigger, &pa_after, id);
+            match (before[id.0], after) {
+                (ResponseTime::Schedulable(b), ResponseTime::Schedulable(a)) => {
+                    prop_assert!(a >= b, "response time improved from {b:?} to {a:?}");
+                }
+                (ResponseTime::Unschedulable, ResponseTime::Schedulable(_)) => {
+                    prop_assert!(false, "task became schedulable after adding interference");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_below_ll_bound_implies_rm_schedulable(set in arb_taskset(8)) {
+        let u = total_utilization(set.tasks());
+        if u <= liu_layland_bound(set.len()) {
+            prop_assert!(rt_core::rta::is_schedulable_rm(&set));
+        }
+    }
+
+    #[test]
+    fn unschedulable_on_m_cores_implies_unschedulable_on_fewer(set in arb_taskset(8)) {
+        // Necessary condition is monotone in the number of cores.
+        for m in 1..4usize {
+            let small = necessary_condition_default_horizon(&set, m);
+            let large = necessary_condition_default_horizon(&set, m + 1);
+            prop_assert!(!small || large);
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both_and_lcm_is_multiple(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let g = gcd(a, b);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+        let l = lcm(a, b);
+        if l != u64::MAX {
+            prop_assert_eq!(l % a, 0);
+            prop_assert_eq!(l % b, 0);
+        }
+    }
+
+    #[test]
+    fn hyperperiod_is_multiple_of_each_period(set in arb_taskset(4)) {
+        let h = hyperperiod(&set);
+        if h != Time::MAX {
+            for t in set.tasks() {
+                prop_assert_eq!(h.as_ticks() % t.period().as_ticks(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn taskset_indexing_is_consistent(set in arb_taskset(8)) {
+        for (i, (id, task)) in set.iter().enumerate() {
+            prop_assert_eq!(id, TaskId(i));
+            prop_assert_eq!(task, &set[id]);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-core admission tests used by the packing heuristics.
+//!
+//! An admission test answers the question "can this core still meet all
+//! deadlines if we add one more task to it?". The paper partitions its
+//! real-time workloads with a best-fit heuristic; the admission criterion is
+//! uniprocessor fixed-priority (rate-monotonic) schedulability, for which we
+//! offer the exact response-time analysis and two cheaper sufficient bounds.
+
+use rt_core::rta::is_schedulable_rm;
+use rt_core::util::{hyperbolic_bound_holds, liu_layland_bound};
+use rt_core::{RtTask, TaskSet};
+
+/// The admission test applied to a candidate core content (existing tasks on
+/// the core plus the task being placed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AdmissionTest {
+    /// Exact response-time analysis under rate-monotonic priorities
+    /// (necessary and sufficient for the implicit-deadline synchronous case).
+    /// This is the default and the test used for the paper experiments.
+    #[default]
+    ResponseTime,
+    /// The Liu & Layland utilisation bound `U ≤ n(2^{1/n} − 1)`
+    /// (sufficient only).
+    LiuLayland,
+    /// The hyperbolic bound `Π (U_i + 1) ≤ 2` of Bini & Buttazzo
+    /// (sufficient only, dominates Liu & Layland).
+    Hyperbolic,
+    /// Plain utilisation capacity `U ≤ 1` (necessary only — useful to build
+    /// intentionally optimistic partitions in tests).
+    UtilizationOnly,
+}
+
+impl AdmissionTest {
+    /// Whether a core containing exactly `tasks` passes this admission test.
+    #[must_use]
+    pub fn admits(self, tasks: &TaskSet) -> bool {
+        match self {
+            AdmissionTest::ResponseTime => is_schedulable_rm(tasks),
+            AdmissionTest::LiuLayland => {
+                tasks.total_utilization() <= liu_layland_bound(tasks.len()) + 1e-12
+            }
+            AdmissionTest::Hyperbolic => hyperbolic_bound_holds(tasks.tasks()),
+            AdmissionTest::UtilizationOnly => tasks.total_utilization() <= 1.0 + 1e-12,
+        }
+    }
+
+    /// Whether a core already containing `existing` can additionally host
+    /// `candidate`.
+    #[must_use]
+    pub fn admits_with(self, existing: &TaskSet, candidate: &RtTask) -> bool {
+        let mut augmented = existing.clone();
+        augmented.push(candidate.clone());
+        self.admits(&augmented)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::Time;
+
+    fn task(c_ms: u64, t_ms: u64) -> RtTask {
+        RtTask::implicit_deadline(Time::from_millis(c_ms), Time::from_millis(t_ms)).unwrap()
+    }
+
+    fn set(tasks: Vec<RtTask>) -> TaskSet {
+        tasks.into_iter().collect()
+    }
+
+    #[test]
+    fn response_time_test_is_exact_for_harmonic_full_load() {
+        // Harmonic, 100% utilisation: RTA admits, utilisation bounds reject.
+        let s = set(vec![task(1, 2), task(1, 4), task(2, 8)]);
+        assert!(AdmissionTest::ResponseTime.admits(&s));
+        assert!(!AdmissionTest::LiuLayland.admits(&s));
+        assert!(!AdmissionTest::Hyperbolic.admits(&s));
+        assert!(AdmissionTest::UtilizationOnly.admits(&s));
+    }
+
+    #[test]
+    fn all_tests_reject_overload() {
+        let s = set(vec![task(8, 10), task(5, 10)]);
+        for t in [
+            AdmissionTest::ResponseTime,
+            AdmissionTest::LiuLayland,
+            AdmissionTest::Hyperbolic,
+            AdmissionTest::UtilizationOnly,
+        ] {
+            assert!(!t.admits(&s), "{t:?} should reject U = 1.3");
+        }
+    }
+
+    #[test]
+    fn hyperbolic_dominates_liu_layland() {
+        // U = 0.85 split 0.7/0.15: hyperbolic admits, Liu & Layland rejects.
+        let s = set(vec![task(7, 10), task(6, 40)]);
+        assert!(AdmissionTest::Hyperbolic.admits(&s));
+        assert!(!AdmissionTest::LiuLayland.admits(&s));
+        assert!(AdmissionTest::ResponseTime.admits(&s));
+    }
+
+    #[test]
+    fn admits_with_does_not_mutate_existing() {
+        let existing = set(vec![task(2, 10)]);
+        let candidate = task(5, 10);
+        assert!(AdmissionTest::ResponseTime.admits_with(&existing, &candidate));
+        assert_eq!(existing.len(), 1);
+        // Adding a third heavy task tips it over.
+        let heavy = task(4, 10);
+        let mut two = existing.clone();
+        two.push(candidate);
+        assert!(!AdmissionTest::ResponseTime.admits_with(&two, &heavy));
+    }
+
+    #[test]
+    fn empty_core_admits_anything_schedulable_alone() {
+        let empty = TaskSet::empty();
+        assert!(AdmissionTest::ResponseTime.admits_with(&empty, &task(9, 10)));
+        assert!(AdmissionTest::LiuLayland.admits_with(&empty, &task(9, 10)));
+    }
+
+    #[test]
+    fn default_is_response_time() {
+        assert_eq!(AdmissionTest::default(), AdmissionTest::ResponseTime);
+    }
+}

@@ -1,0 +1,355 @@
+//! Bin-packing partitioning heuristics.
+//!
+//! These are the "existing partitioning heuristics (e.g., first-fit,
+//! best-fit, etc.)" referenced by the paper (Davis & Burns survey). Tasks are
+//! considered one at a time — optionally sorted by decreasing utilisation —
+//! and placed onto a core chosen by the heuristic, subject to an
+//! [`AdmissionTest`] on the receiving core.
+
+use core::fmt;
+
+use rt_core::{TaskId, TaskSet};
+
+use crate::admission::AdmissionTest;
+use crate::partition::{CoreId, Partition};
+
+/// Which core a heuristic prefers among those that can admit the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Heuristic {
+    /// The lowest-indexed core that admits the task.
+    FirstFit,
+    /// The admitting core with the **highest** current utilisation (tightest
+    /// remaining capacity). This is the heuristic the paper uses for the
+    /// synthetic experiments.
+    #[default]
+    BestFit,
+    /// The admitting core with the **lowest** current utilisation (spreads
+    /// load; a.k.a. load balancing).
+    WorstFit,
+    /// The core used for the previous task, moving forward cyclically when it
+    /// no longer admits.
+    NextFit,
+}
+
+/// In which order tasks are offered to the bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TaskOrdering {
+    /// Keep the declaration order of the task set.
+    #[default]
+    Declaration,
+    /// Sort by decreasing utilisation (the classic "-decreasing" variants,
+    /// e.g. best-fit decreasing).
+    DecreasingUtilization,
+    /// Sort by increasing period (rate-monotonic priority order).
+    IncreasingPeriod,
+}
+
+/// Configuration of a partitioning run: heuristic, admission test and task
+/// ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PartitionConfig {
+    /// Core-selection heuristic.
+    pub heuristic: Heuristic,
+    /// Admission test for the receiving core.
+    pub admission: AdmissionTest,
+    /// Order in which tasks are packed.
+    pub ordering: TaskOrdering,
+}
+
+impl PartitionConfig {
+    /// Creates a configuration with the default ([`TaskOrdering::Declaration`])
+    /// ordering.
+    #[must_use]
+    pub fn new(heuristic: Heuristic, admission: AdmissionTest) -> Self {
+        PartitionConfig {
+            heuristic,
+            admission,
+            ordering: TaskOrdering::Declaration,
+        }
+    }
+
+    /// Sets the task ordering.
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: TaskOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// The configuration the HYDRA paper uses for its synthetic experiments:
+    /// best-fit packing with the exact response-time admission test.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PartitionConfig::new(Heuristic::BestFit, AdmissionTest::ResponseTime)
+    }
+}
+
+/// Error returned when a task cannot be placed on any core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionError {
+    /// The task that could not be placed.
+    pub task: TaskId,
+    /// The partial partition built before the failure (all previously placed
+    /// tasks keep their assignment).
+    pub partial: Partition,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} cannot be admitted on any of the {} cores",
+            self.task,
+            self.partial.cores()
+        )
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+fn pack_order(tasks: &TaskSet, ordering: TaskOrdering) -> Vec<TaskId> {
+    let mut order: Vec<TaskId> = tasks.ids().collect();
+    match ordering {
+        TaskOrdering::Declaration => {}
+        TaskOrdering::DecreasingUtilization => {
+            order.sort_by(|&a, &b| {
+                tasks[b]
+                    .utilization()
+                    .partial_cmp(&tasks[a].utilization())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+        }
+        TaskOrdering::IncreasingPeriod => {
+            order.sort_by_key(|&id| (tasks[id].period(), id.0));
+        }
+    }
+    order
+}
+
+/// Partitions `tasks` over `cores` identical cores according to `config`.
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] carrying the partial partition if some task
+/// cannot be admitted on any core.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn partition_tasks(
+    tasks: &TaskSet,
+    cores: usize,
+    config: &PartitionConfig,
+) -> Result<Partition, PartitionError> {
+    assert!(cores > 0, "cannot partition onto zero cores");
+    let mut partition = Partition::new(tasks.len(), cores);
+    let mut next_fit_cursor = 0usize;
+
+    for task_id in pack_order(tasks, config.ordering) {
+        let candidate = &tasks[task_id];
+        // Cores that can admit the task, with their current utilisation.
+        let mut admitting: Vec<(CoreId, f64)> = Vec::new();
+        for core in partition.core_ids() {
+            let existing = partition.taskset_on(tasks, core);
+            if config.admission.admits_with(&existing, candidate) {
+                admitting.push((core, partition.utilization_on(tasks, core)));
+            }
+        }
+        let chosen = match config.heuristic {
+            Heuristic::FirstFit => admitting.first().map(|&(c, _)| c),
+            Heuristic::BestFit => admitting
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|&(c, _)| c),
+            Heuristic::WorstFit => admitting
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|&(c, _)| c),
+            Heuristic::NextFit => {
+                // Try cores starting at the cursor, wrapping around once.
+                let mut found = None;
+                for offset in 0..cores {
+                    let core = CoreId((next_fit_cursor + offset) % cores);
+                    if admitting.iter().any(|&(c, _)| c == core) {
+                        found = Some(core);
+                        next_fit_cursor = core.0;
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        match chosen {
+            Some(core) => partition.assign(task_id, core),
+            None => {
+                return Err(PartitionError {
+                    task: task_id,
+                    partial: partition,
+                })
+            }
+        }
+    }
+    Ok(partition)
+}
+
+/// Partitions `tasks` over `cores` cores with the paper's default
+/// configuration (best-fit, exact response-time admission).
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] if some task cannot be placed.
+pub fn partition_best_fit(tasks: &TaskSet, cores: usize) -> Result<Partition, PartitionError> {
+    partition_tasks(tasks, cores, &PartitionConfig::paper_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::rta::is_schedulable_rm;
+    use rt_core::{RtTask, Time};
+
+    fn task(c_ms: u64, t_ms: u64) -> RtTask {
+        RtTask::implicit_deadline(Time::from_millis(c_ms), Time::from_millis(t_ms)).unwrap()
+    }
+
+    fn set(tasks: Vec<RtTask>) -> TaskSet {
+        tasks.into_iter().collect()
+    }
+
+    fn assert_valid(partition: &Partition, tasks: &TaskSet) {
+        assert!(partition.is_complete());
+        for core in partition.core_ids() {
+            assert!(is_schedulable_rm(&partition.taskset_on(tasks, core)));
+        }
+    }
+
+    #[test]
+    fn first_fit_packs_onto_first_core_when_possible() {
+        let tasks = set(vec![task(1, 10), task(1, 10), task(1, 10)]);
+        let p = partition_tasks(
+            &tasks,
+            3,
+            &PartitionConfig::new(Heuristic::FirstFit, AdmissionTest::ResponseTime),
+        )
+        .unwrap();
+        assert_eq!(p.tasks_on(CoreId(0)).len(), 3);
+        assert_eq!(p.tasks_on(CoreId(1)).len(), 0);
+        assert_valid(&p, &tasks);
+    }
+
+    #[test]
+    fn worst_fit_spreads_load() {
+        let tasks = set(vec![task(1, 10), task(1, 10), task(1, 10)]);
+        let p = partition_tasks(
+            &tasks,
+            3,
+            &PartitionConfig::new(Heuristic::WorstFit, AdmissionTest::ResponseTime),
+        )
+        .unwrap();
+        for core in p.core_ids() {
+            assert_eq!(p.tasks_on(core).len(), 1);
+        }
+    }
+
+    #[test]
+    fn best_fit_prefers_fullest_admitting_core() {
+        // Seed: put a 0.5-utilisation task first; best-fit should then stack
+        // the 0.3 task on the same core rather than the empty one.
+        let tasks = set(vec![task(5, 10), task(3, 10), task(9, 10)]);
+        let p = partition_tasks(
+            &tasks,
+            2,
+            &PartitionConfig::new(Heuristic::BestFit, AdmissionTest::ResponseTime),
+        )
+        .unwrap();
+        assert_eq!(p.core_of(TaskId(0)), p.core_of(TaskId(1)));
+        assert_ne!(p.core_of(TaskId(0)), p.core_of(TaskId(2)));
+        assert_valid(&p, &tasks);
+    }
+
+    #[test]
+    fn next_fit_moves_forward() {
+        // Each task half-fills a core; next-fit keeps the cursor and packs
+        // pairs per core.
+        let tasks = set(vec![task(4, 10); 4]);
+        let p = partition_tasks(
+            &tasks,
+            2,
+            &PartitionConfig::new(Heuristic::NextFit, AdmissionTest::UtilizationOnly),
+        )
+        .unwrap();
+        assert_eq!(p.tasks_on(CoreId(0)).len(), 2);
+        assert_eq!(p.tasks_on(CoreId(1)).len(), 2);
+    }
+
+    #[test]
+    fn infeasible_workload_reports_offending_task() {
+        let tasks = set(vec![task(9, 10), task(9, 10), task(9, 10)]);
+        let err = partition_best_fit(&tasks, 2).unwrap_err();
+        assert_eq!(err.task, TaskId(2));
+        assert_eq!(err.partial.assigned_count(), 2);
+        assert!(err.to_string().contains("cannot be admitted"));
+    }
+
+    #[test]
+    fn decreasing_utilization_ordering_packs_heaviest_first() {
+        // Declared light-to-heavy; with decreasing-utilisation ordering the
+        // heaviest task (index 2, U = 0.9) is packed first and therefore ends
+        // up alone on core 0, with the two light tasks pushed to core 1.
+        let tasks = set(vec![task(2, 10), task(3, 10), task(9, 10)]);
+        let cfg = PartitionConfig::new(Heuristic::FirstFit, AdmissionTest::UtilizationOnly)
+            .with_ordering(TaskOrdering::DecreasingUtilization);
+        let p = partition_tasks(&tasks, 2, &cfg).unwrap();
+        assert_eq!(p.core_of(TaskId(2)), Some(CoreId(0)));
+        assert_eq!(p.core_of(TaskId(0)), Some(CoreId(1)));
+        assert_eq!(p.core_of(TaskId(1)), Some(CoreId(1)));
+        // Declaration order instead stacks the two light tasks on core 0.
+        let plain = PartitionConfig::new(Heuristic::FirstFit, AdmissionTest::UtilizationOnly);
+        let q = partition_tasks(&tasks, 2, &plain).unwrap();
+        assert_eq!(q.core_of(TaskId(0)), Some(CoreId(0)));
+        assert_eq!(q.core_of(TaskId(2)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn increasing_period_ordering_is_supported() {
+        let tasks = set(vec![task(10, 100), task(1, 5), task(2, 20)]);
+        let p = partition_tasks(
+            &tasks,
+            2,
+            &PartitionConfig::paper_default().with_ordering(TaskOrdering::IncreasingPeriod),
+        )
+        .unwrap();
+        assert_valid(&p, &tasks);
+    }
+
+    #[test]
+    fn single_core_partition_equals_uniprocessor_test() {
+        let feasible = set(vec![task(1, 4), task(2, 6), task(3, 13)]);
+        assert!(partition_best_fit(&feasible, 1).is_ok());
+        let infeasible = set(vec![task(3, 4), task(3, 6)]);
+        assert!(partition_best_fit(&infeasible, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cores")]
+    fn zero_cores_panics() {
+        let _ = partition_best_fit(&set(vec![task(1, 10)]), 0);
+    }
+
+    #[test]
+    fn empty_taskset_partitions_trivially() {
+        let p = partition_best_fit(&TaskSet::empty(), 4).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.assigned_count(), 0);
+    }
+
+    #[test]
+    fn paper_default_is_best_fit_rta() {
+        let cfg = PartitionConfig::paper_default();
+        assert_eq!(cfg.heuristic, Heuristic::BestFit);
+        assert_eq!(cfg.admission, AdmissionTest::ResponseTime);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rt-partition — partitioned multiprocessor scheduling substrate
+//!
+//! The HYDRA paper assumes that the real-time tasks are already partitioned
+//! onto the `M` identical cores "using existing multicore task partitioning
+//! algorithms" (best-fit in the synthetic experiments). This crate provides
+//! that substrate:
+//!
+//! * [`Partition`] — an assignment of tasks to cores with per-core views,
+//! * [`heuristics`] — the classic bin-packing heuristics (first-fit,
+//!   best-fit, worst-fit, next-fit) with optional decreasing-utilisation
+//!   ordering,
+//! * [`admission`] — the admission tests used while packing (exact
+//!   response-time analysis, or the cheaper utilisation bounds).
+//!
+//! # Example
+//!
+//! ```
+//! use rt_core::{RtTask, TaskSet, Time};
+//! use rt_partition::{partition_tasks, AdmissionTest, Heuristic, PartitionConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tasks = TaskSet::new(vec![
+//!     RtTask::implicit_deadline(Time::from_millis(4), Time::from_millis(10))?,
+//!     RtTask::implicit_deadline(Time::from_millis(6), Time::from_millis(10))?,
+//!     RtTask::implicit_deadline(Time::from_millis(5), Time::from_millis(10))?,
+//! ]);
+//! let partition = partition_tasks(
+//!     &tasks,
+//!     2,
+//!     &PartitionConfig::new(Heuristic::BestFit, AdmissionTest::ResponseTime),
+//! )?;
+//! assert_eq!(partition.cores(), 2);
+//! assert_eq!(partition.assigned_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod heuristics;
+pub mod partition;
+
+pub use admission::AdmissionTest;
+pub use heuristics::{partition_tasks, Heuristic, PartitionConfig, PartitionError, TaskOrdering};
+pub use partition::{CoreId, Partition};

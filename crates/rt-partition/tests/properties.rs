@@ -1,0 +1,90 @@
+//! Property-based tests for the partitioning heuristics.
+
+use proptest::prelude::*;
+use rt_core::rta::is_schedulable_rm;
+use rt_core::{RtTask, TaskSet, Time};
+use rt_partition::{partition_tasks, AdmissionTest, Heuristic, PartitionConfig, TaskOrdering};
+
+fn arb_task() -> impl Strategy<Value = RtTask> {
+    (500u64..=30_000, 40_000u64..=500_000).prop_map(|(c, t)| {
+        RtTask::implicit_deadline(Time::from_micros(c.min(t)), Time::from_micros(t)).unwrap()
+    })
+}
+
+fn arb_taskset() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(arb_task(), 1..=16).prop_map(TaskSet::new)
+}
+
+fn all_configs() -> Vec<PartitionConfig> {
+    let mut cfgs = Vec::new();
+    for h in [
+        Heuristic::FirstFit,
+        Heuristic::BestFit,
+        Heuristic::WorstFit,
+        Heuristic::NextFit,
+    ] {
+        for a in [AdmissionTest::ResponseTime, AdmissionTest::Hyperbolic] {
+            for o in [TaskOrdering::Declaration, TaskOrdering::DecreasingUtilization] {
+                cfgs.push(PartitionConfig::new(h, a).with_ordering(o));
+            }
+        }
+    }
+    cfgs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn successful_partitions_are_complete_and_schedulable(set in arb_taskset(), cores in 1usize..=4) {
+        for cfg in all_configs() {
+            if let Ok(p) = partition_tasks(&set, cores, &cfg) {
+                prop_assert!(p.is_complete());
+                prop_assert_eq!(p.task_count(), set.len());
+                // Every core content passes the exact RM test when the
+                // admission test was RTA; sufficient tests imply it too.
+                for core in p.core_ids() {
+                    prop_assert!(is_schedulable_rm(&p.taskset_on(&set, core)));
+                }
+                // Each task appears on exactly one core.
+                let total: usize = p.core_ids().map(|c| p.tasks_on(c).len()).sum();
+                prop_assert_eq!(total, set.len());
+            }
+        }
+    }
+
+    #[test]
+    fn more_cores_never_hurt_first_fit(set in arb_taskset(), cores in 1usize..=3) {
+        let cfg = PartitionConfig::new(Heuristic::FirstFit, AdmissionTest::ResponseTime);
+        let small = partition_tasks(&set, cores, &cfg);
+        let large = partition_tasks(&set, cores + 1, &cfg);
+        // First-fit with more cores admits a superset of workloads: if the
+        // small platform succeeds the large one must too (the extra core is
+        // simply never needed).
+        if small.is_ok() {
+            prop_assert!(large.is_ok());
+        }
+    }
+
+    #[test]
+    fn rta_admission_accepts_at_least_as_much_as_utilization_bounds(set in arb_taskset(), cores in 1usize..=4) {
+        // The exact test admits every workload the sufficient bounds admit.
+        for h in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
+            let exact = PartitionConfig::new(h, AdmissionTest::ResponseTime);
+            let ll = PartitionConfig::new(h, AdmissionTest::LiuLayland);
+            if partition_tasks(&set, cores, &ll).is_ok() {
+                prop_assert!(partition_tasks(&set, cores, &exact).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_error_preserves_placed_tasks(set in arb_taskset(), cores in 1usize..=2) {
+        let cfg = PartitionConfig::paper_default();
+        if let Err(e) = partition_tasks(&set, cores, &cfg) {
+            prop_assert!(e.partial.assigned_count() < set.len());
+            prop_assert!(e.task.0 < set.len());
+            prop_assert_eq!(e.partial.core_of(e.task), None);
+        }
+    }
+}

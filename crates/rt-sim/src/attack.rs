@@ -1,0 +1,122 @@
+//! Synthetic attack injection (the Figure 1 methodology).
+//!
+//! The paper triggers synthetic attacks (file-system or network-packet
+//! corruption) at random instants while the schedule runs, assumes the
+//! responsible security task detects the intrusion the next time it completes
+//! a full check, and reports the distribution of detection times. An
+//! [`AttackScenario`] generates those injection instants deterministically
+//! from a seed; each [`InjectedAttack`] names the security task responsible
+//! for detecting it.
+
+use rt_core::Time;
+
+use crate::rng::SplitMix64;
+
+/// One injected attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedAttack {
+    /// Instant at which the system is compromised.
+    pub time: Time,
+    /// Index of the security task (into the problem's security task set)
+    /// responsible for detecting this attack — e.g. a file-system corruption
+    /// is caught by a Tripwire hash check, a forged packet by the Bro
+    /// monitor.
+    pub target: usize,
+}
+
+/// Generates attack instants uniformly over a simulation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackScenario {
+    horizon: Time,
+    margin: Time,
+    seed: u64,
+}
+
+impl AttackScenario {
+    /// Creates a scenario over `[0, horizon − margin)`. The margin keeps
+    /// injections away from the end of the window so the responsible security
+    /// task still has a chance to complete a check before the simulation
+    /// stops (the paper observes each schedule long enough for every attack
+    /// to be detected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin is not smaller than the horizon.
+    #[must_use]
+    pub fn new(horizon: Time, margin: Time, seed: u64) -> Self {
+        assert!(margin < horizon, "margin must leave room for injections");
+        AttackScenario {
+            horizon,
+            margin,
+            seed,
+        }
+    }
+
+    /// Generates `count` attacks spread uniformly at random over the window,
+    /// cycling deterministically through the `targets` (so every security
+    /// task is attacked a comparable number of times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    #[must_use]
+    pub fn generate(&self, count: usize, targets: &[usize]) -> Vec<InjectedAttack> {
+        assert!(!targets.is_empty(), "at least one attack target is required");
+        let mut rng = SplitMix64::new(self.seed);
+        let window = (self.horizon - self.margin).as_ticks();
+        (0..count)
+            .map(|i| InjectedAttack {
+                time: Time::from_ticks(rng.next_below(window.max(1))),
+                target: targets[i % targets.len()],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacks_fall_inside_the_window_and_cycle_targets() {
+        let scenario = AttackScenario::new(Time::from_secs(100), Time::from_secs(10), 7);
+        let attacks = scenario.generate(50, &[0, 3, 5]);
+        assert_eq!(attacks.len(), 50);
+        for (i, a) in attacks.iter().enumerate() {
+            assert!(a.time < Time::from_secs(90));
+            assert_eq!(a.target, [0, 3, 5][i % 3]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s1 = AttackScenario::new(Time::from_secs(10), Time::from_secs(1), 42);
+        let s2 = AttackScenario::new(Time::from_secs(10), Time::from_secs(1), 42);
+        assert_eq!(s1.generate(20, &[0]), s2.generate(20, &[0]));
+        let s3 = AttackScenario::new(Time::from_secs(10), Time::from_secs(1), 43);
+        assert_ne!(s1.generate(20, &[0]), s3.generate(20, &[0]));
+    }
+
+    #[test]
+    fn injection_times_are_spread_out() {
+        let scenario = AttackScenario::new(Time::from_secs(100), Time::ZERO, 3);
+        let attacks = scenario.generate(1000, &[0]);
+        let early = attacks
+            .iter()
+            .filter(|a| a.time < Time::from_secs(50))
+            .count();
+        assert!((400..600).contains(&early), "{early} attacks in the first half");
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must leave room")]
+    fn margin_as_large_as_horizon_panics() {
+        let _ = AttackScenario::new(Time::from_secs(1), Time::from_secs(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attack target")]
+    fn empty_target_list_panics() {
+        let _ = AttackScenario::new(Time::from_secs(1), Time::ZERO, 0).generate(1, &[]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 1 of the paper plots the empirical CDF
+//! `F̂(ε) = (1/α) Σ_i 1[ζ_i ≤ ε]` of the observed detection times `ζ_i`.
+//! [`EmpiricalCdf`] implements exactly that estimator plus the summary
+//! statistics (mean, percentiles) the experiment harness reports.
+
+/// An empirical CDF over a set of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from samples (not necessarily sorted). Non-finite
+    /// samples are dropped.
+    #[must_use]
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|s| s.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        EmpiricalCdf { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The estimator `F̂(x)`: the fraction of samples ≤ `x`
+    /// (`0` for an empty sample set).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) of the samples, by lower
+    /// interpolation-free order statistic; `None` for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Sample mean; `None` for an empty set.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Largest sample; `None` for an empty set.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Smallest sample; `None` for an empty set.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Samples the CDF at `points` evenly spaced values covering
+    /// `[0, max_x]`, returning `(x, F̂(x))` pairs — the series plotted in
+    /// Figure 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is smaller than 2 or `max_x` is not positive.
+    #[must_use]
+    pub fn series(&self, max_x: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a series needs at least two points");
+        assert!(max_x > 0.0, "the series range must be positive");
+        (0..points)
+            .map(|i| {
+                let x = max_x * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The sorted samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for EmpiricalCdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        EmpiricalCdf::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_the_step_function() {
+        let cdf = EmpiricalCdf::new([3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let cdf = EmpiricalCdf::new([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.mean(), Some(25.0));
+        assert_eq!(cdf.min(), Some(10.0));
+        assert_eq!(cdf.max(), Some(40.0));
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+        assert_eq!(cdf.quantile(0.5), Some(30.0));
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = EmpiricalCdf::new(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.mean(), None);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.max(), None);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let cdf = EmpiricalCdf::new([1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn series_is_monotone_and_ends_at_one() {
+        let cdf = EmpiricalCdf::new([5.0, 10.0, 15.0]);
+        let series = cdf.series(20.0, 21);
+        assert_eq!(series.len(), 21);
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(series.last().unwrap().1, 1.0);
+        assert_eq!(series[0], (0.0, 0.0));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let cdf: EmpiricalCdf = vec![2.0, 1.0].into_iter().collect();
+        assert_eq!(cdf.samples(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_out_of_range_panics() {
+        let _ = EmpiricalCdf::new([1.0]).quantile(1.5);
+    }
+}

@@ -1,0 +1,320 @@
+//! The discrete-event scheduling engine.
+//!
+//! Partitioned fixed-priority preemptive scheduling: every core runs its own
+//! independent ready queue, tasks never migrate, and at any instant each core
+//! executes the highest-priority ready job assigned to it. Jobs are released
+//! strictly periodically starting at time zero (the synchronous release
+//! pattern, which is the worst case for the response-time analysis this
+//! simulator is cross-checked against) and each job executes for exactly its
+//! task's WCET.
+
+use rt_core::Time;
+
+use crate::trace::{JobRecord, Trace};
+use crate::workload::SimTask;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Length of the simulated window; releases strictly before the horizon
+    /// are simulated, execution stops at the horizon.
+    pub horizon: Time,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is zero.
+    #[must_use]
+    pub fn new(horizon: Time) -> Self {
+        assert!(!horizon.is_zero(), "simulation horizon must be positive");
+        SimConfig { horizon }
+    }
+}
+
+/// A job currently in a core's ready queue.
+#[derive(Debug, Clone, Copy)]
+struct ReadyJob {
+    task: usize,
+    priority: u32,
+    release: Time,
+    deadline: Time,
+    remaining: Time,
+    start: Option<Time>,
+}
+
+fn simulate_core(tasks: &[SimTask], members: &[usize], horizon: Time, out: &mut Vec<JobRecord>) {
+    // Next release instant per member task.
+    let mut next_release: Vec<Time> = members.iter().map(|_| Time::ZERO).collect();
+    let mut ready: Vec<ReadyJob> = Vec::new();
+    let mut now = Time::ZERO;
+
+    loop {
+        // Release every job whose release time has arrived (and is before the
+        // horizon).
+        for (slot, &task_idx) in members.iter().enumerate() {
+            while next_release[slot] <= now && next_release[slot] < horizon {
+                let task = &tasks[task_idx];
+                ready.push(ReadyJob {
+                    task: task_idx,
+                    priority: task.priority,
+                    release: next_release[slot],
+                    deadline: next_release[slot] + task.deadline,
+                    remaining: task.wcet,
+                    start: None,
+                });
+                next_release[slot] = next_release[slot] + task.period;
+            }
+        }
+
+        // The next scheduling event after `now`: the earliest future release.
+        let upcoming_release = members
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| next_release[slot])
+            .filter(|&r| r < horizon)
+            .min();
+
+        if ready.is_empty() {
+            match upcoming_release {
+                Some(r) => {
+                    now = r;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Highest-priority ready job (smallest priority value; FIFO among
+        // equal priorities cannot occur because priorities are unique per
+        // core).
+        let chosen = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, j)| (j.priority, j.release))
+            .map(|(i, _)| i)
+            .expect("ready queue is non-empty");
+
+        let mut job = ready.swap_remove(chosen);
+        if job.start.is_none() {
+            job.start = Some(now);
+        }
+
+        // Run until the job completes, the next release arrives (possible
+        // preemption), or the horizon.
+        let completion = now + job.remaining;
+        let next_event = match upcoming_release {
+            Some(r) => completion.min(r).min(horizon),
+            None => completion.min(horizon),
+        };
+        let ran = next_event - now;
+        job.remaining = job.remaining - ran;
+        now = next_event;
+
+        if job.remaining.is_zero() {
+            out.push(JobRecord {
+                task: job.task,
+                release: job.release,
+                deadline: job.deadline,
+                start: job.start,
+                finish: Some(now),
+            });
+        } else if now >= horizon {
+            out.push(JobRecord {
+                task: job.task,
+                release: job.release,
+                deadline: job.deadline,
+                start: job.start,
+                finish: None,
+            });
+        } else {
+            ready.push(job);
+        }
+
+        if now >= horizon {
+            // Record the jobs that never ran, then stop this core.
+            for job in ready.drain(..) {
+                out.push(JobRecord {
+                    task: job.task,
+                    release: job.release,
+                    deadline: job.deadline,
+                    start: job.start,
+                    finish: None,
+                });
+            }
+            break;
+        }
+    }
+}
+
+/// Simulates the workload until the configured horizon and returns the trace.
+///
+/// # Panics
+///
+/// Panics if two tasks on the same core share a priority (the fixed-priority
+/// model of the paper requires distinct priorities).
+#[must_use]
+pub fn simulate(tasks: &[SimTask], config: &SimConfig) -> Trace {
+    let cores = tasks.iter().map(|t| t.core).max().map_or(0, |m| m + 1);
+    let mut jobs = Vec::new();
+    for core in 0..cores {
+        let members: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (t.core == core).then_some(i))
+            .collect();
+        // Distinct priorities per core.
+        let mut prios: Vec<u32> = members.iter().map(|&i| tasks[i].priority).collect();
+        let count = prios.len();
+        prios.sort_unstable();
+        prios.dedup();
+        assert_eq!(
+            prios.len(),
+            count,
+            "tasks sharing core {core} must have distinct priorities"
+        );
+        simulate_core(tasks, &members, config.horizon, &mut jobs);
+    }
+    Trace::new(jobs, config.horizon, tasks.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TaskKind;
+
+    fn task(name: &str, c_ms: u64, t_ms: u64, core: usize, priority: u32) -> SimTask {
+        SimTask {
+            name: name.to_owned(),
+            kind: TaskKind::RealTime,
+            wcet: Time::from_millis(c_ms),
+            period: Time::from_millis(t_ms),
+            deadline: Time::from_millis(t_ms),
+            core,
+            priority,
+        }
+    }
+
+    #[test]
+    fn single_task_runs_back_to_back_releases() {
+        let tasks = vec![task("a", 2, 10, 0, 0)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(35)));
+        // Releases at 0, 10, 20, 30 → four jobs, finishing at 2, 12, 22, 32.
+        let finishes: Vec<Time> = trace
+            .jobs_of(0)
+            .filter_map(|j| j.finish)
+            .collect();
+        assert_eq!(
+            finishes,
+            vec![
+                Time::from_millis(2),
+                Time::from_millis(12),
+                Time::from_millis(22),
+                Time::from_millis(32)
+            ]
+        );
+        assert!(trace.deadline_misses().is_empty());
+    }
+
+    #[test]
+    fn preemption_by_higher_priority_task() {
+        // High-priority: C=1, T=4; low-priority: C=3, T=10.
+        // Low job released at 0 runs [1,2) [2,3)... interleaved with high jobs.
+        let tasks = vec![task("hi", 1, 4, 0, 0), task("lo", 3, 10, 0, 1)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(10)));
+        let lo_first = trace.jobs_of(1).next().unwrap();
+        // hi runs [0,1), lo runs [1,4), hi preempts at 4 runs [4,5), lo [5,6)?
+        // Actually lo needs 3 units: [1,4) gives it 3 → finishes at 4... but
+        // the release at 4 happens at the same instant; the simulator finishes
+        // the unit ending exactly at 4 first, so lo completes at t = 4.
+        assert_eq!(lo_first.finish, Some(Time::from_millis(4)));
+        assert_eq!(lo_first.start, Some(Time::from_millis(1)));
+        // The high-priority task is never delayed by more than the WCET of
+        // nothing — its response time is always 1 ms.
+        for j in trace.jobs_of(0) {
+            assert_eq!(j.response_time(), Some(Time::from_millis(1)));
+        }
+    }
+
+    #[test]
+    fn simulated_worst_response_matches_rta() {
+        // Same classic set as the rt-core RTA test: 1/4, 2/6, 3/13.
+        let tasks = vec![
+            task("a", 1, 4, 0, 0),
+            task("b", 2, 6, 0, 1),
+            task("c", 3, 13, 0, 2),
+        ];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_secs(2)));
+        assert!(trace.deadline_misses().is_empty());
+        // The synchronous release at time 0 is the critical instant, so the
+        // worst observed response time equals the analytical bound (10 ms for
+        // the lowest-priority task).
+        assert_eq!(trace.worst_response_time(2), Some(Time::from_millis(10)));
+        assert_eq!(trace.worst_response_time(0), Some(Time::from_millis(1)));
+        assert_eq!(trace.worst_response_time(1), Some(Time::from_millis(3)));
+    }
+
+    #[test]
+    fn overload_shows_up_as_deadline_misses() {
+        let tasks = vec![task("a", 3, 4, 0, 0), task("b", 3, 6, 0, 1)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(60)));
+        assert!(!trace.deadline_misses().is_empty());
+    }
+
+    #[test]
+    fn cores_are_isolated() {
+        // An overloaded core 0 does not disturb core 1.
+        let tasks = vec![
+            task("a", 5, 5, 0, 0),
+            task("b", 5, 6, 0, 1),
+            task("c", 1, 10, 1, 0),
+        ];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(100)));
+        for j in trace.jobs_of(2) {
+            assert_eq!(j.response_time(), Some(Time::from_millis(1)));
+            assert!(!j.missed_deadline());
+        }
+    }
+
+    #[test]
+    fn unfinished_jobs_at_horizon_are_recorded_without_finish() {
+        let tasks = vec![task("a", 8, 10, 0, 0)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(15)));
+        let jobs: Vec<&JobRecord> = trace.jobs_of(0).collect();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].finish, Some(Time::from_millis(8)));
+        assert_eq!(jobs[1].finish, None);
+        assert_eq!(jobs[1].start, Some(Time::from_millis(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct priorities")]
+    fn duplicate_priorities_on_a_core_panic() {
+        let tasks = vec![task("a", 1, 10, 0, 0), task("b", 1, 10, 0, 0)];
+        let _ = simulate(&tasks, &SimConfig::new(Time::from_millis(10)));
+    }
+
+    #[test]
+    fn empty_workload_produces_empty_trace() {
+        let trace = simulate(&[], &SimConfig::new(Time::from_millis(10)));
+        assert!(trace.jobs().is_empty());
+        assert_eq!(trace.task_count(), 0);
+    }
+
+    #[test]
+    fn processor_never_idles_while_work_is_pending() {
+        // Utilisation exactly 1.0 with harmonic periods: the core must be
+        // busy for the whole horizon, i.e. the total completed work equals
+        // the horizon length.
+        let tasks = vec![task("a", 1, 2, 0, 0), task("b", 1, 4, 0, 1), task("c", 2, 8, 0, 2)];
+        let horizon = Time::from_millis(80);
+        let trace = simulate(&tasks, &SimConfig::new(horizon));
+        let busy: u64 = (0..3)
+            .map(|i| trace.busy_time(i, tasks[i].wcet).as_millis())
+            .sum();
+        assert_eq!(busy, horizon.as_millis());
+        assert!(trace.deadline_misses().is_empty());
+    }
+}

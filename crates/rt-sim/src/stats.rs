@@ -1,0 +1,188 @@
+//! Post-processing statistics over execution traces.
+//!
+//! The experiment harness and the examples want more than raw job records:
+//! measured per-core utilisation (how much of the slack the security tasks
+//! actually consumed), per-task response-time profiles (to compare against
+//! the analytical bounds), and a flat CSV export of the trace for external
+//! plotting. This module provides those views without touching the simulator
+//! itself.
+
+use rt_core::Time;
+
+use crate::trace::Trace;
+use crate::workload::SimTask;
+
+/// Response-time profile of one task over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseProfile {
+    /// Index of the task in the simulated workload.
+    pub task: usize,
+    /// Number of completed jobs.
+    pub completed: usize,
+    /// Number of jobs that did not finish before the horizon.
+    pub unfinished: usize,
+    /// Smallest observed response time.
+    pub best: Option<Time>,
+    /// Largest observed response time.
+    pub worst: Option<Time>,
+    /// Mean observed response time in milliseconds.
+    pub mean_ms: f64,
+    /// Number of deadline misses.
+    pub deadline_misses: usize,
+}
+
+/// Computes the response-time profile of every task (indexed like `tasks`).
+#[must_use]
+pub fn response_profiles(tasks: &[SimTask], trace: &Trace) -> Vec<ResponseProfile> {
+    (0..tasks.len())
+        .map(|idx| {
+            let mut completed = 0usize;
+            let mut unfinished = 0usize;
+            let mut best: Option<Time> = None;
+            let mut worst: Option<Time> = None;
+            let mut total_ms = 0.0;
+            let mut misses = 0usize;
+            for job in trace.jobs_of(idx) {
+                match job.response_time() {
+                    Some(rt) => {
+                        completed += 1;
+                        total_ms += rt.as_millis_f64();
+                        best = Some(best.map_or(rt, |b: Time| b.min(rt)));
+                        worst = Some(worst.map_or(rt, |w: Time| w.max(rt)));
+                        if job.missed_deadline() {
+                            misses += 1;
+                        }
+                    }
+                    None => unfinished += 1,
+                }
+            }
+            ResponseProfile {
+                task: idx,
+                completed,
+                unfinished,
+                best,
+                worst,
+                mean_ms: if completed == 0 {
+                    0.0
+                } else {
+                    total_ms / completed as f64
+                },
+                deadline_misses: misses,
+            }
+        })
+        .collect()
+}
+
+/// Measured utilisation of each core over the trace horizon: the fraction of
+/// the horizon spent executing completed jobs of tasks assigned to that core.
+/// Unfinished jobs at the horizon contribute nothing (a small underestimate
+/// bounded by one WCET per task).
+#[must_use]
+pub fn measured_core_utilization(tasks: &[SimTask], trace: &Trace) -> Vec<f64> {
+    let cores = tasks.iter().map(|t| t.core).max().map_or(0, |m| m + 1);
+    let mut busy = vec![0u64; cores];
+    for (idx, task) in tasks.iter().enumerate() {
+        busy[task.core] += trace.busy_time(idx, task.wcet).as_ticks();
+    }
+    let horizon = trace.horizon().as_ticks().max(1);
+    busy.into_iter().map(|b| b as f64 / horizon as f64).collect()
+}
+
+/// Renders the whole trace as CSV (`task,name,core,release_us,start_us,finish_us,deadline_us`),
+/// suitable for external Gantt/latency plotting.
+#[must_use]
+pub fn trace_to_csv(tasks: &[SimTask], trace: &Trace) -> String {
+    let mut out = String::from("task,name,core,release_us,start_us,finish_us,deadline_us\n");
+    for job in trace.jobs() {
+        let task = &tasks[job.task];
+        let fmt_opt = |t: Option<Time>| t.map_or(String::new(), |v| v.as_micros().to_string());
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            job.task,
+            task.name,
+            task.core,
+            job.release.as_micros(),
+            fmt_opt(job.start),
+            fmt_opt(job.finish),
+            job.deadline.as_micros(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::workload::TaskKind;
+
+    fn task(name: &str, c_ms: u64, t_ms: u64, core: usize, priority: u32) -> SimTask {
+        SimTask {
+            name: name.to_owned(),
+            kind: TaskKind::RealTime,
+            wcet: Time::from_millis(c_ms),
+            period: Time::from_millis(t_ms),
+            deadline: Time::from_millis(t_ms),
+            core,
+            priority,
+        }
+    }
+
+    #[test]
+    fn profiles_match_hand_computed_values() {
+        let tasks = vec![task("hi", 1, 4, 0, 0), task("lo", 3, 10, 0, 1)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(20)));
+        let profiles = response_profiles(&tasks, &trace);
+        assert_eq!(profiles.len(), 2);
+        // The high-priority task always responds in exactly 1 ms.
+        assert_eq!(profiles[0].best, Some(Time::from_millis(1)));
+        assert_eq!(profiles[0].worst, Some(Time::from_millis(1)));
+        assert!((profiles[0].mean_ms - 1.0).abs() < 1e-9);
+        assert_eq!(profiles[0].deadline_misses, 0);
+        assert_eq!(profiles[0].completed, 5);
+        // The low-priority task's first job finishes at 4 ms (response 4 ms).
+        assert_eq!(profiles[1].worst, Some(Time::from_millis(4)));
+        assert_eq!(profiles[1].unfinished + profiles[1].completed, 2);
+    }
+
+    #[test]
+    fn measured_utilization_matches_the_analytical_value_for_long_horizons() {
+        let tasks = vec![task("a", 2, 10, 0, 0), task("b", 5, 50, 1, 0)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_secs(10)));
+        let u = measured_core_utilization(&tasks, &trace);
+        assert_eq!(u.len(), 2);
+        assert!((u[0] - 0.2).abs() < 0.01, "core 0 utilisation {}", u[0]);
+        assert!((u[1] - 0.1).abs() < 0.01, "core 1 utilisation {}", u[1]);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_statistics() {
+        let trace = simulate(&[], &SimConfig::new(Time::from_millis(5)));
+        assert!(response_profiles(&[], &trace).is_empty());
+        assert!(measured_core_utilization(&[], &trace).is_empty());
+        assert_eq!(
+            trace_to_csv(&[], &trace),
+            "task,name,core,release_us,start_us,finish_us,deadline_us\n"
+        );
+    }
+
+    #[test]
+    fn csv_export_contains_every_job() {
+        let tasks = vec![task("a", 1, 10, 0, 0)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(30)));
+        let csv = trace_to_csv(&tasks, &trace);
+        // Header + three jobs.
+        assert_eq!(csv.lines().count(), 1 + 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,a,0,0,"));
+    }
+
+    #[test]
+    fn overload_is_reflected_in_miss_counts() {
+        let tasks = vec![task("a", 3, 4, 0, 0), task("b", 3, 6, 0, 1)];
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(120)));
+        let profiles = response_profiles(&tasks, &trace);
+        assert!(profiles[1].deadline_misses > 0);
+        let u = measured_core_utilization(&tasks, &trace);
+        assert!(u[0] > 0.95, "an overloaded core must be (almost) fully busy");
+    }
+}

@@ -1,0 +1,145 @@
+//! Execution traces produced by the simulator.
+
+use rt_core::Time;
+
+/// One completed (or still running at the horizon) job in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Index of the task (into the `SimTask` slice passed to the simulator).
+    pub task: usize,
+    /// Release (arrival) time of the job.
+    pub release: Time,
+    /// Absolute deadline of the job.
+    pub deadline: Time,
+    /// First instant at which the job received the processor, if it ever ran.
+    pub start: Option<Time>,
+    /// Completion instant, if the job finished before the horizon.
+    pub finish: Option<Time>,
+}
+
+impl JobRecord {
+    /// Response time (finish − release), if the job completed.
+    #[must_use]
+    pub fn response_time(&self) -> Option<Time> {
+        self.finish.map(|f| f - self.release)
+    }
+
+    /// Whether the job finished after its absolute deadline (jobs that never
+    /// finished within the simulated horizon are *not* counted as misses —
+    /// the caller decides how to treat truncation).
+    #[must_use]
+    pub fn missed_deadline(&self) -> bool {
+        matches!(self.finish, Some(f) if f > self.deadline)
+    }
+}
+
+/// The full execution trace of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    jobs: Vec<JobRecord>,
+    horizon: Time,
+    task_count: usize,
+}
+
+impl Trace {
+    /// Builds a trace from raw job records.
+    #[must_use]
+    pub fn new(mut jobs: Vec<JobRecord>, horizon: Time, task_count: usize) -> Self {
+        jobs.sort_by_key(|j| (j.release, j.task));
+        Trace {
+            jobs,
+            horizon,
+            task_count,
+        }
+    }
+
+    /// All job records, sorted by release time.
+    #[must_use]
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Simulated horizon.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Number of distinct tasks in the simulated workload.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.task_count
+    }
+
+    /// Job records of one task, in release order.
+    pub fn jobs_of(&self, task: usize) -> impl Iterator<Item = &JobRecord> + '_ {
+        self.jobs.iter().filter(move |j| j.task == task)
+    }
+
+    /// All jobs that finished after their deadline.
+    #[must_use]
+    pub fn deadline_misses(&self) -> Vec<&JobRecord> {
+        self.jobs.iter().filter(|j| j.missed_deadline()).collect()
+    }
+
+    /// Worst observed response time of a task, if any of its jobs completed.
+    #[must_use]
+    pub fn worst_response_time(&self, task: usize) -> Option<Time> {
+        self.jobs_of(task).filter_map(JobRecord::response_time).max()
+    }
+
+    /// Total processor time consumed by completed jobs of a task.
+    #[must_use]
+    pub fn busy_time(&self, task: usize, wcet: Time) -> Time {
+        let completed = self.jobs_of(task).filter(|j| j.finish.is_some()).count() as u64;
+        wcet.saturating_mul(completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(task: usize, release_ms: u64, finish_ms: Option<u64>, deadline_ms: u64) -> JobRecord {
+        JobRecord {
+            task,
+            release: Time::from_millis(release_ms),
+            deadline: Time::from_millis(deadline_ms),
+            start: finish_ms.map(|f| Time::from_millis(f.saturating_sub(1))),
+            finish: finish_ms.map(Time::from_millis),
+        }
+    }
+
+    #[test]
+    fn response_time_and_deadline_miss() {
+        let ok = job(0, 10, Some(18), 20);
+        assert_eq!(ok.response_time(), Some(Time::from_millis(8)));
+        assert!(!ok.missed_deadline());
+        let late = job(0, 10, Some(25), 20);
+        assert!(late.missed_deadline());
+        let unfinished = job(0, 10, None, 20);
+        assert_eq!(unfinished.response_time(), None);
+        assert!(!unfinished.missed_deadline());
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let trace = Trace::new(
+            vec![job(1, 30, Some(40), 50), job(0, 0, Some(5), 20), job(0, 20, Some(45), 40)],
+            Time::from_millis(100),
+            2,
+        );
+        assert_eq!(trace.jobs().len(), 3);
+        assert_eq!(trace.task_count(), 2);
+        assert_eq!(trace.horizon(), Time::from_millis(100));
+        // Sorted by release.
+        assert_eq!(trace.jobs()[0].release, Time::ZERO);
+        assert_eq!(trace.jobs_of(0).count(), 2);
+        assert_eq!(trace.worst_response_time(0), Some(Time::from_millis(25)));
+        assert_eq!(trace.deadline_misses().len(), 1);
+        assert_eq!(
+            trace.busy_time(0, Time::from_millis(3)),
+            Time::from_millis(6)
+        );
+    }
+}

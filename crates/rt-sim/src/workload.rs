@@ -1,0 +1,174 @@
+//! Bridging allocations to simulator task descriptions.
+//!
+//! The simulator consumes a flat list of [`SimTask`]s: each has a core, a
+//! priority (unique per core), a WCET and a period. This module builds that
+//! list from an [`AllocationProblem`] and the [`Allocation`] produced by any
+//! scheme: real-time tasks keep their rate-monotonic priorities and the core
+//! chosen by the real-time partition; security tasks run on the core chosen
+//! by the allocator, with the granted period, at priorities strictly below
+//! every real-time priority and ordered among themselves by `T^max`.
+
+use hydra_core::{Allocation, AllocationProblem};
+use rt_core::{PriorityAssignment, PriorityPolicy, Time};
+
+/// Whether a simulated task is a real-time (control) task or a security task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// A real-time task from `Γ_R`.
+    RealTime,
+    /// A security task from `Γ_S`; the payload is the index of the task in
+    /// the problem's [`hydra_core::SecurityTaskSet`].
+    Security(usize),
+}
+
+/// A task as seen by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTask {
+    /// Display name.
+    pub name: String,
+    /// Kind (real-time or security, with the security index).
+    pub kind: TaskKind,
+    /// Worst-case execution time; the simulator executes every job for
+    /// exactly this long.
+    pub wcet: Time,
+    /// Period (strictly periodic releases starting at time zero — the
+    /// synchronous worst case).
+    pub period: Time,
+    /// Relative deadline (equal to the period for every workload in this
+    /// reproduction).
+    pub deadline: Time,
+    /// Hosting core.
+    pub core: usize,
+    /// Priority: smaller value = higher priority; unique within a core.
+    pub priority: u32,
+}
+
+impl SimTask {
+    /// Whether this is a security task.
+    #[must_use]
+    pub fn is_security(&self) -> bool {
+        matches!(self.kind, TaskKind::Security(_))
+    }
+}
+
+/// Builds the simulator workload for `problem` under `allocation`.
+///
+/// Real-time priorities are rate monotonic (ties by declaration index);
+/// security priorities start below the lowest real-time priority and follow
+/// the `T^max` order of the security task set.
+#[must_use]
+pub fn simulation_tasks(problem: &AllocationProblem, allocation: &Allocation) -> Vec<SimTask> {
+    let mut tasks = Vec::with_capacity(problem.rt_tasks.len() + problem.security_tasks.len());
+
+    let rt_priorities =
+        PriorityAssignment::assign(&problem.rt_tasks, PriorityPolicy::RateMonotonic);
+    for (id, task) in problem.rt_tasks.iter() {
+        let Some(core) = allocation.rt_partition().core_of(id) else {
+            // Unassigned RT tasks cannot occur for allocations produced by the
+            // schemes in this workspace; skip defensively.
+            continue;
+        };
+        tasks.push(SimTask {
+            name: task
+                .name()
+                .map_or_else(|| format!("rt_{}", id.0), str::to_owned),
+            kind: TaskKind::RealTime,
+            wcet: task.wcet(),
+            period: task.period(),
+            deadline: task.deadline(),
+            core: core.0,
+            priority: rt_priorities.priority(id).0,
+        });
+    }
+
+    // Security priorities: below every real-time priority.
+    let base = problem.rt_tasks.len() as u32;
+    for (rank, sec_id) in problem.security_tasks.ids_by_priority().iter().enumerate() {
+        let task = &problem.security_tasks[*sec_id];
+        let placement = allocation.placement(*sec_id);
+        tasks.push(SimTask {
+            name: task
+                .name()
+                .map_or_else(|| format!("sec_{}", sec_id.0), str::to_owned),
+            kind: TaskKind::Security(sec_id.0),
+            wcet: task.wcet(),
+            period: placement.period,
+            deadline: placement.period,
+            core: placement.core.0,
+            priority: base + rank as u32,
+        });
+    }
+
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::allocator::{Allocator, HydraAllocator};
+    use hydra_core::{casestudy, catalog};
+
+    fn case_study_tasks(cores: usize) -> (AllocationProblem, Vec<SimTask>) {
+        let problem =
+            AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), cores);
+        let allocation = HydraAllocator::default().allocate(&problem).unwrap();
+        let tasks = simulation_tasks(&problem, &allocation);
+        (problem, tasks)
+    }
+
+    #[test]
+    fn every_task_appears_exactly_once() {
+        let (problem, tasks) = case_study_tasks(2);
+        assert_eq!(
+            tasks.len(),
+            problem.rt_tasks.len() + problem.security_tasks.len()
+        );
+        let security: Vec<&SimTask> = tasks.iter().filter(|t| t.is_security()).collect();
+        assert_eq!(security.len(), problem.security_tasks.len());
+    }
+
+    #[test]
+    fn security_tasks_have_lower_priority_than_all_rt_tasks() {
+        let (_, tasks) = case_study_tasks(4);
+        let max_rt = tasks
+            .iter()
+            .filter(|t| !t.is_security())
+            .map(|t| t.priority)
+            .max()
+            .unwrap();
+        for t in tasks.iter().filter(|t| t.is_security()) {
+            assert!(t.priority > max_rt, "{} must run below every RT task", t.name);
+        }
+    }
+
+    #[test]
+    fn priorities_are_unique_per_core() {
+        let (_, tasks) = case_study_tasks(2);
+        for core in 0..2 {
+            let mut prios: Vec<u32> = tasks
+                .iter()
+                .filter(|t| t.core == core)
+                .map(|t| t.priority)
+                .collect();
+            let before = prios.len();
+            prios.sort_unstable();
+            prios.dedup();
+            assert_eq!(prios.len(), before, "duplicate priority on core {core}");
+        }
+    }
+
+    #[test]
+    fn security_periods_match_the_allocation() {
+        let problem =
+            AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), 2);
+        let allocation = HydraAllocator::default().allocate(&problem).unwrap();
+        let tasks = simulation_tasks(&problem, &allocation);
+        for t in tasks.iter() {
+            if let TaskKind::Security(idx) = t.kind {
+                let placement = allocation.placement(hydra_core::SecurityTaskId(idx));
+                assert_eq!(t.period, placement.period);
+                assert_eq!(t.core, placement.core.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the discrete-event simulator: the simulation must
+//! agree with the analytical schedulability results of `rt-core` and behave
+//! like a work-conserving fixed-priority scheduler.
+
+use proptest::prelude::*;
+use rt_core::rta::{response_times, ResponseTime};
+use rt_core::{PriorityAssignment, PriorityPolicy, RtTask, TaskSet, Time};
+use rt_sim::engine::{simulate, SimConfig};
+use rt_sim::workload::{SimTask, TaskKind};
+
+fn arb_core_workload() -> impl Strategy<Value = Vec<SimTask>> {
+    prop::collection::vec((1_000u64..=20_000, 20_000u64..=200_000), 1..=5).prop_map(|params| {
+        params
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, t))| SimTask {
+                name: format!("t{i}"),
+                kind: TaskKind::RealTime,
+                wcet: Time::from_micros(c.min(t)),
+                period: Time::from_micros(t),
+                deadline: Time::from_micros(t),
+                core: 0,
+                priority: i as u32,
+            })
+            .collect()
+    })
+}
+
+fn as_taskset(tasks: &[SimTask]) -> TaskSet {
+    tasks
+        .iter()
+        .map(|t| RtTask::implicit_deadline(t.wcet, t.period).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_never_contradicts_the_response_time_analysis(tasks in arb_core_workload()) {
+        // Priorities follow the declaration order in both the analysis and
+        // the simulation (IndexOrder), so the analytical worst case must
+        // upper-bound every observed response time, and an analytically
+        // schedulable task must never miss a deadline in simulation.
+        let set = as_taskset(&tasks);
+        let pa = PriorityAssignment::assign(&set, PriorityPolicy::IndexOrder);
+        let analysis = response_times(&set, &pa);
+        let horizon = Time::from_secs(3);
+        let trace = simulate(&tasks, &SimConfig::new(horizon));
+        for (i, verdict) in analysis.iter().enumerate() {
+            match verdict {
+                ResponseTime::Schedulable(bound) => {
+                    if let Some(worst) = trace.worst_response_time(i) {
+                        prop_assert!(
+                            worst <= *bound,
+                            "task {i}: simulated {worst:?} exceeds analytical bound {bound:?}"
+                        );
+                    }
+                    for job in trace.jobs_of(i) {
+                        prop_assert!(!job.missed_deadline());
+                    }
+                }
+                ResponseTime::Unschedulable => {
+                    // Nothing to check: the simulation may or may not hit the
+                    // worst case within the horizon.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completed_work_never_exceeds_capacity(tasks in arb_core_workload()) {
+        let horizon = Time::from_secs(2);
+        let trace = simulate(&tasks, &SimConfig::new(horizon));
+        let busy: u64 = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| trace.busy_time(i, t.wcet).as_ticks())
+            .sum();
+        prop_assert!(busy <= horizon.as_ticks());
+    }
+
+    #[test]
+    fn job_counts_match_the_release_pattern(tasks in arb_core_workload()) {
+        let horizon = Time::from_secs(1);
+        let trace = simulate(&tasks, &SimConfig::new(horizon));
+        for (i, t) in tasks.iter().enumerate() {
+            let expected = horizon.as_ticks().div_ceil(t.period.as_ticks());
+            let observed = trace.jobs_of(i).count() as u64;
+            prop_assert_eq!(observed, expected, "task {} release count", i);
+        }
+    }
+
+    #[test]
+    fn start_and_finish_times_are_ordered(tasks in arb_core_workload()) {
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_secs(1)));
+        for job in trace.jobs() {
+            if let Some(start) = job.start {
+                prop_assert!(start >= job.release);
+                if let Some(finish) = job.finish {
+                    prop_assert!(finish > start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn highest_priority_task_is_never_delayed(tasks in arb_core_workload()) {
+        let trace = simulate(&tasks, &SimConfig::new(Time::from_secs(1)));
+        let wcet = tasks[0].wcet;
+        for job in trace.jobs_of(0) {
+            if let Some(rt) = job.response_time() {
+                prop_assert_eq!(rt, wcet);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Utilisation-vector sampling.
+//!
+//! [`randfixedsum`] is a port of Roger Stafford's `randfixedsum` algorithm as
+//! popularised for real-time task-set generation by Emberson, Stafford &
+//! Davis ("Techniques for the synthesis of multiprocessor tasksets", WATERS
+//! 2010): it draws a vector of `n` values, each within `[0, 1]`, summing to
+//! exactly `s`, uniformly over that simplex slice. This avoids the bias of
+//! naive normalisation approaches when `s > 1` (the multiprocessor case).
+//!
+//! [`uunifast_discard`] implements the older UUniFast-Discard scheme, used
+//! here to cross-validate the generator (both must produce valid vectors;
+//! their marginal distributions agree for `s ≤ 1`).
+
+use rand::Rng;
+
+/// Draws `n` values in `[0, 1]` summing to `sum`, uniformly distributed over
+/// the set of such vectors (Stafford's Randfixedsum with bounds `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `sum` is outside `[0, n]` or not finite.
+#[must_use]
+pub fn randfixedsum<R: Rng + ?Sized>(n: usize, sum: f64, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "cannot generate an empty utilisation vector");
+    assert!(
+        sum.is_finite() && (0.0..=n as f64).contains(&sum),
+        "sum {sum} outside the feasible range [0, {n}]"
+    );
+    if n == 1 {
+        return vec![sum];
+    }
+
+    let s = sum;
+    // k is the integer part of s, clamped so that both s - k and k + 1 - s
+    // stay in [0, 1].
+    let k = (s.floor() as usize).min(n - 1);
+    let s = s.clamp(k as f64, k as f64 + 1.0);
+
+    // s1[i] = s - (k - i), s2[i] = (k + n - i) - s for i = 0..n (0-based port
+    // of the MATLAB vectors).
+    let s1: Vec<f64> = (0..n).map(|i| s - (k as f64 - i as f64)).collect();
+    let s2: Vec<f64> = (0..n).map(|i| (k + n - i) as f64 - s).collect();
+
+    // Probability tables. w has n rows and n + 1 columns; t has n - 1 rows
+    // and n columns.
+    const HUGE: f64 = f64::MAX;
+    let tiny = f64::MIN_POSITIVE;
+    let mut w = vec![vec![0.0f64; n + 1]; n];
+    w[0][1] = HUGE;
+    let mut t = vec![vec![0.0f64; n]; n - 1];
+    for i in 2..=n {
+        // tmp1 = w(i-1, 2:i+1) .* s1(1:i) / i
+        // tmp2 = w(i-1, 1:i)   .* s2(n-i+1:n) / i
+        let mut tmp1 = vec![0.0f64; i];
+        let mut tmp2 = vec![0.0f64; i];
+        for j in 0..i {
+            tmp1[j] = w[i - 2][j + 1] * s1[j] / i as f64;
+            tmp2[j] = w[i - 2][j] * s2[n - i + j] / i as f64;
+        }
+        for j in 0..i {
+            w[i - 1][j + 1] = tmp1[j] + tmp2[j];
+        }
+        for j in 0..i {
+            let tmp3 = w[i - 1][j + 1] + tiny;
+            let tmp4 = s2[n - i + j] > s1[j];
+            t[i - 2][j] = if tmp4 {
+                tmp2[j] / tmp3
+            } else {
+                1.0 - tmp1[j] / tmp3
+            };
+        }
+    }
+
+    // Sample one vector.
+    let mut x = vec![0.0f64; n];
+    let mut s_cur = s;
+    let mut j = k + 1; // 1-based column index into t
+    let mut sm = 0.0f64;
+    let mut pr = 1.0f64;
+    for i in (1..n).rev() {
+        // i runs from n-1 down to 1.
+        let e = rng.gen::<f64>() <= t[i - 1][j - 1];
+        let sx = rng.gen::<f64>().powf(1.0 / i as f64);
+        sm += (1.0 - sx) * pr * s_cur / (i as f64 + 1.0);
+        pr *= sx;
+        x[n - 1 - i] = sm + pr * f64::from(u8::from(e));
+        if e {
+            s_cur -= 1.0;
+            j -= 1;
+        }
+    }
+    x[n - 1] = sm + pr * s_cur;
+
+    // Random permutation (Fisher–Yates) so the ordering carries no bias.
+    for i in (1..n).rev() {
+        let swap = rng.gen_range(0..=i);
+        x.swap(i, swap);
+    }
+    // Guard against tiny negative values introduced by floating-point error.
+    for v in &mut x {
+        *v = v.clamp(0.0, 1.0);
+    }
+    x
+}
+
+/// UUniFast-Discard: draws `n` utilisations summing to `sum`, each in
+/// `[0, 1]`, by running UUniFast and discarding vectors with a component
+/// above 1. Practical for `sum / n ≲ 0.7`; used as a cross-check of
+/// [`randfixedsum`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `sum` is outside `[0, n]`, or if no valid vector
+/// is found after a large number of attempts (which only happens for
+/// `sum` very close to `n`).
+#[must_use]
+pub fn uunifast_discard<R: Rng + ?Sized>(n: usize, sum: f64, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "cannot generate an empty utilisation vector");
+    assert!(
+        sum.is_finite() && (0.0..=n as f64).contains(&sum),
+        "sum {sum} outside the feasible range [0, {n}]"
+    );
+    const MAX_ATTEMPTS: usize = 10_000;
+    for _ in 0..MAX_ATTEMPTS {
+        let mut values = Vec::with_capacity(n);
+        let mut remaining = sum;
+        let mut ok = true;
+        for i in 1..n {
+            let next = remaining * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+            let u = remaining - next;
+            if u > 1.0 {
+                ok = false;
+                break;
+            }
+            values.push(u);
+            remaining = next;
+        }
+        if ok && remaining <= 1.0 {
+            values.push(remaining);
+            return values;
+        }
+    }
+    panic!("uunifast_discard failed to find a valid vector for n = {n}, sum = {sum}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_vector(x: &[f64], n: usize, sum: f64) {
+        assert_eq!(x.len(), n);
+        assert!(x.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)), "{x:?}");
+        let total: f64 = x.iter().sum();
+        assert!((total - sum).abs() < 1e-6, "sum {total} != {sum}");
+    }
+
+    #[test]
+    fn randfixedsum_produces_valid_vectors_across_the_range() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        for &(n, s) in &[
+            (1usize, 0.4f64),
+            (2, 1.3),
+            (3, 0.2),
+            (5, 2.5),
+            (8, 7.3),
+            (16, 4.0),
+            (40, 19.5),
+            (80, 71.0),
+        ] {
+            for _ in 0..20 {
+                let x = randfixedsum(n, s, &mut rng);
+                check_vector(&x, n, s);
+            }
+        }
+    }
+
+    #[test]
+    fn randfixedsum_handles_extreme_sums() {
+        let mut rng = StdRng::seed_from_u64(7);
+        check_vector(&randfixedsum(4, 0.0, &mut rng), 4, 0.0);
+        check_vector(&randfixedsum(4, 4.0, &mut rng), 4, 4.0);
+        check_vector(&randfixedsum(4, 0.001, &mut rng), 4, 0.001);
+        check_vector(&randfixedsum(4, 3.999, &mut rng), 4, 3.999);
+    }
+
+    #[test]
+    fn randfixedsum_marginals_are_symmetric() {
+        // By symmetry every component has mean s/n.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 4;
+        let s = 2.0;
+        let trials = 4000;
+        let mut means = vec![0.0f64; n];
+        for _ in 0..trials {
+            let x = randfixedsum(n, s, &mut rng);
+            for (m, v) in means.iter_mut().zip(&x) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= trials as f64;
+            assert!((*m - s / n as f64).abs() < 0.03, "component mean {m}");
+        }
+    }
+
+    #[test]
+    fn randfixedsum_covers_the_interior() {
+        // For n = 2, s = 1 the first component is uniform on [0, 1]: check
+        // the quartile occupancy.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0usize; 4];
+        let trials = 4000;
+        for _ in 0..trials {
+            let x = randfixedsum(2, 1.0, &mut rng);
+            let b = ((x[0] * 4.0) as usize).min(3);
+            buckets[b] += 1;
+        }
+        for &b in &buckets {
+            let frac = b as f64 / trials as f64;
+            assert!((frac - 0.25).abs() < 0.05, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn uunifast_discard_produces_valid_vectors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(n, s) in &[(1usize, 0.5f64), (4, 0.8), (6, 2.0), (10, 3.0)] {
+            for _ in 0..20 {
+                let x = uunifast_discard(n, s, &mut rng);
+                check_vector(&x, n, s);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_agree_on_the_single_processor_mean(
+    ) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 2000;
+        let (n, s) = (5usize, 0.8f64);
+        let mean_of = |samples: &mut dyn FnMut(&mut StdRng) -> Vec<f64>, rng: &mut StdRng| {
+            let mut acc = 0.0;
+            for _ in 0..trials {
+                acc += samples(rng)[0];
+            }
+            acc / trials as f64
+        };
+        let m1 = mean_of(&mut |r| randfixedsum(n, s, r), &mut rng);
+        let m2 = mean_of(&mut |r| uunifast_discard(n, s, r), &mut rng);
+        assert!((m1 - m2).abs() < 0.03, "means diverge: {m1} vs {m2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the feasible range")]
+    fn sum_above_n_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = randfixedsum(2, 2.5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty utilisation vector")]
+    fn zero_tasks_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = randfixedsum(0, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = randfixedsum(6, 2.4, &mut StdRng::seed_from_u64(5));
+        let b = randfixedsum(6, 2.4, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

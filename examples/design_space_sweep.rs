@@ -1,0 +1,60 @@
+//! A miniature design-space sweep in the spirit of Figures 2 and 3: generate
+//! synthetic task sets across a range of utilisations and compare how many
+//! each allocation scheme can schedule, and how close HYDRA's cumulative
+//! tightness stays to the exhaustive optimum on a 2-core platform.
+//!
+//! Run with `cargo run --release --example design_space_sweep`.
+
+use hydra_repro::gen::synthetic::{generate_problem, SyntheticConfig};
+use hydra_repro::hydra::allocator::{Allocator, HydraAllocator, OptimalAllocator, SingleCoreAllocator};
+use hydra_repro::hydra::metrics::{mean, tightness_gap_percent, AcceptanceCounter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: usize = 30;
+const CORES: usize = 2;
+
+fn main() {
+    let hydra = HydraAllocator::default();
+    let single = SingleCoreAllocator::default();
+    let optimal = OptimalAllocator::default();
+
+    let mut config = SyntheticConfig::paper_default(CORES);
+    // Keep the security task count small so the exhaustive baseline stays
+    // fast enough for an example.
+    config.security_tasks = (2, 5);
+
+    println!("util   accept(HYDRA)  accept(Single)  mean gap to optimal (%)");
+    for step in 1..=8 {
+        let utilization = 0.12 * f64::from(step) * CORES as f64;
+        let mut rng = StdRng::seed_from_u64(1000 + step as u64);
+        let mut acc_hydra = AcceptanceCounter::new();
+        let mut acc_single = AcceptanceCounter::new();
+        let mut gaps = Vec::new();
+        for _ in 0..TRIALS {
+            let problem = generate_problem(&config, utilization, &mut rng);
+            let h = hydra.allocate(&problem);
+            acc_hydra.record(h.is_ok());
+            acc_single.record(single.allocate(&problem).is_ok());
+            if let (Ok(h), Ok(o)) = (h, optimal.allocate(&problem)) {
+                gaps.push(tightness_gap_percent(
+                    o.cumulative_tightness(&problem.security_tasks),
+                    h.cumulative_tightness(&problem.security_tasks),
+                ));
+            }
+        }
+        println!(
+            "{utilization:>5.2}  {:>13.2}  {:>14.2}  {:>22.1}",
+            acc_hydra.ratio(),
+            acc_single.ratio(),
+            mean(&gaps)
+        );
+    }
+    println!();
+    println!(
+        "Reading the table: at low utilisation every scheme schedules everything and \
+         HYDRA matches the optimum; as utilisation grows the dedicated-core scheme \
+         starts rejecting task sets first, and HYDRA's greedy choices leave a small \
+         tightness gap to the exhaustive search."
+    );
+}

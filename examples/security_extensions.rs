@@ -1,0 +1,87 @@
+//! The Section V extensions in action: precedence constraints between
+//! security checks, non-preemptive checks, and the sensitivity analysis a
+//! designer can run on a finished allocation.
+//!
+//! Run with `cargo run --example security_extensions`.
+
+use hydra_repro::hydra::allocator::Allocator;
+use hydra_repro::hydra::precedence::{table1_precedence, PrecedenceHydraAllocator};
+use hydra_repro::hydra::sensitivity::{core_headroom, most_constrained_task, wcet_scaling_margin};
+use hydra_repro::hydra::{casestudy, catalog, AllocationProblem, NpHydraAllocator, SecurityTaskId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Precedence: the Tripwire self-check must run before every other
+    //    Tripwire check (Table I catalogue order, see `table1_precedence`).
+    let problem = AllocationProblem::new(
+        casestudy::uav_rt_tasks(),
+        catalog::table1_tasks(),
+        2,
+    );
+    let constrained = PrecedenceHydraAllocator::new(table1_precedence()).allocate(&problem)?;
+    println!("precedence-aware allocation (2 cores):");
+    let self_check_period = constrained.period_of(SecurityTaskId(0));
+    for (id, placement) in constrained.iter() {
+        let task = &problem.security_tasks[id];
+        println!(
+            "  {:<24} core {}  T = {:>7}  η = {:.2}",
+            task.name().unwrap_or("security"),
+            placement.core.0,
+            placement.period.to_string(),
+            placement.tightness
+        );
+        assert!(id == SecurityTaskId(0) || id == SecurityTaskId(5) || placement.period >= self_check_period);
+    }
+
+    // 2. Non-preemptive checks: mark the two heaviest Tripwire scans as
+    //    non-preemptive and let the blocking-aware allocator find cores whose
+    //    real-time tasks tolerate the priority inversion.
+    let mut tasks = catalog::table1_tasks();
+    let np_tasks: hydra_repro::hydra::SecurityTaskSet = tasks
+        .iter()
+        .map(|(id, t)| {
+            if matches!(t.name(), Some("tripwire_executables" | "tripwire_libraries")) {
+                problem.security_tasks[id].clone().non_preemptive()
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    tasks = np_tasks;
+    let np_problem = AllocationProblem::new(casestudy::uav_rt_tasks(), tasks, 4);
+    match NpHydraAllocator::default().allocate(&np_problem) {
+        Ok(allocation) => {
+            println!("\nnon-preemptive-aware allocation (4 cores):");
+            for (id, placement) in allocation.iter() {
+                let task = &np_problem.security_tasks[id];
+                println!(
+                    "  {:<24} {}  core {}  T = {:>7}",
+                    task.name().unwrap_or("security"),
+                    if task.is_non_preemptive() { "[NP]" } else { "    " },
+                    placement.core.0,
+                    placement.period.to_string(),
+                );
+            }
+        }
+        Err(e) => println!("\nnon-preemptive variant not schedulable: {e}"),
+    }
+
+    // 3. Sensitivity: how much headroom does the plain HYDRA allocation keep?
+    let allocation =
+        hydra_repro::hydra::HydraAllocator::default().allocate(&problem)?;
+    println!("\nsensitivity of the 2-core allocation:");
+    println!(
+        "  security WCETs could grow by a factor of {:.2} before a constraint breaks",
+        wcet_scaling_margin(&problem, &allocation)
+    );
+    if let Some((id, slack)) = most_constrained_task(&problem, &allocation) {
+        println!(
+            "  most constrained task: {} (only {} of period slack left)",
+            problem.security_tasks[id].name().unwrap_or("security"),
+            slack
+        );
+    }
+    for (core, headroom) in core_headroom(&problem, &allocation) {
+        println!("  {core}: {:.1}% utilisation headroom", headroom * 100.0);
+    }
+    Ok(())
+}

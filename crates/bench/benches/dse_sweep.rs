@@ -1,0 +1,75 @@
+//! Criterion bench: throughput of the `rt-dse` sweep engine (scenarios per
+//! second), serial vs multi-threaded, plus the marginal cost of the
+//! memoization layer's sharing across the allocator axis. This seeds the
+//! performance trajectory for the sweep engine (`BENCH_*.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_dse::prelude::*;
+
+/// A mid-sized allocate-only sweep: 2 core counts × 6 utilization points ×
+/// 3 trials × 2 allocators = 72 scenarios per iteration.
+fn sweep_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::synthetic("bench");
+    spec.cores = vec![2, 4];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(6);
+    spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+    spec.trials = 3;
+    spec
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse_sweep_72_scenarios");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let spec = sweep_spec();
+                let executor = Executor::with_threads(threads);
+                b.iter(|| executor.run(std::hint::black_box(&spec)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_grid_expansion(c: &mut Criterion) {
+    // Expansion alone: the full paper-scale grid (3 cores × 39 utils × 250
+    // trials × 2 allocators = 58 500 points) must expand in microseconds.
+    let mut spec = ScenarioSpec::synthetic("expand");
+    spec.trials = 250;
+    c.bench_function("dse_grid_expand_58500_points", |b| {
+        b.iter(|| ScenarioGrid::expand(std::hint::black_box(&spec)));
+    });
+}
+
+fn bench_memoized_vs_fresh_generation(c: &mut Criterion) {
+    // One allocator vs three on the same grid: the extra allocators reuse
+    // every generated problem, so the marginal cost per extra scheme is the
+    // allocation alone, not generation + allocation.
+    let mut group = c.benchmark_group("dse_allocator_axis");
+    group.sample_size(10);
+    for &(label, n) in &[("one_scheme", 1usize), ("three_schemes", 3)] {
+        group.bench_with_input(BenchmarkId::new("allocators", label), &n, |b, &n| {
+            let mut spec = sweep_spec();
+            spec.allocators = vec![
+                AllocatorKind::Hydra,
+                AllocatorKind::SingleCore,
+                AllocatorKind::NpHydra,
+            ][..n]
+                .to_vec();
+            let executor = Executor::serial();
+            b.iter(|| executor.run(std::hint::black_box(&spec)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_throughput,
+    bench_grid_expansion,
+    bench_memoized_vs_fresh_generation
+);
+criterion_main!(benches);

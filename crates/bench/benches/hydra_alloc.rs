@@ -16,14 +16,10 @@ fn bench_hydra_allocation(c: &mut Criterion) {
         let config = SyntheticConfig::paper_default(cores);
         let mut rng = StdRng::seed_from_u64(7);
         let problem = generate_problem(&config, 0.5 * cores as f64, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("cores", cores),
-            &problem,
-            |b, problem| {
-                let allocator = HydraAllocator::default();
-                b.iter(|| allocator.allocate(std::hint::black_box(problem)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cores", cores), &problem, |b, problem| {
+            let allocator = HydraAllocator::default();
+            b.iter(|| allocator.allocate(std::hint::black_box(problem)));
+        });
     }
     group.finish();
 }

@@ -2,20 +2,18 @@
 //! synthetic task sets, swept over total system utilisation for 2, 4 and 8
 //! cores.
 //!
-//! For every utilisation point the harness generates `trials` random task
-//! sets with the Section IV-B parameters, discards those failing the
-//! necessary condition of Eq. (1), runs both schemes on the survivors and
-//! records the fraction each scheme schedules. The reported series is the
+//! The experiment is a declarative [`ScenarioSpec`] executed on the `rt-dse`
+//! engine: the engine generates `trials` task sets per `(cores, utilisation)`
+//! point (Section IV-B parameters), discards those failing the necessary
+//! condition of Eq. (1), offers the survivors to both schemes — **the same
+//! task-set instance to each**, thanks to the engine's shared seed
+//! addresses — and aggregates acceptance ratios. The reported series is the
 //! improvement `(δ_single_fail − δ_hydra_fail)/δ_single_fail × 100 %`
 //! together with the raw acceptance ratios (so the figure can be re-plotted
 //! either way).
 
-use hydra_core::allocator::{Allocator, HydraAllocator, SingleCoreAllocator};
-use hydra_core::metrics::{acceptance_improvement_percent, AcceptanceCounter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rt_core::dbf::necessary_condition_default_horizon;
-use taskgen::synthetic::{generate_problem, SyntheticConfig};
+use hydra_core::metrics::acceptance_improvement_percent;
+use rt_dse::prelude::*;
 
 use crate::report::{fmt3, fmt_pct, ResultTable};
 
@@ -55,6 +53,24 @@ impl Fig2Config {
             ..Fig2Config::default()
         }
     }
+
+    /// The declarative sweep this experiment runs on the engine.
+    #[must_use]
+    pub fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "fig2_acceptance".to_owned(),
+            workload: Workload::Synthetic(SyntheticOverrides::default()),
+            evaluation: Evaluation::Allocate,
+            cores: self.cores.clone(),
+            utilizations: UtilizationGrid::Fractions(crate::capped_paper_fractions(
+                self.max_points,
+            )),
+            allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            trials: self.trials,
+            base_seed: self.seed,
+            expansion: Expansion::Cartesian,
+        }
+    }
 }
 
 /// One point of the Figure 2 series.
@@ -74,62 +90,39 @@ pub struct AcceptancePoint {
     pub improvement_percent: f64,
 }
 
-fn sweep_points(config: &SyntheticConfig, max_points: Option<usize>) -> Vec<f64> {
-    let all = config.utilization_sweep();
-    match max_points {
-        Some(k) if k < all.len() && k >= 2 => {
-            let step = (all.len() - 1) as f64 / (k - 1) as f64;
-            (0..k).map(|i| all[(i as f64 * step).round() as usize]).collect()
-        }
-        _ => all,
-    }
-}
-
-/// Runs the Figure 2 experiment and returns one [`AcceptancePoint`] per
-/// `(cores, utilisation)` pair.
+/// Runs the Figure 2 experiment on the parallel sweep engine and returns one
+/// [`AcceptancePoint`] per `(cores, utilisation)` pair.
 #[must_use]
 pub fn run(config: &Fig2Config) -> Vec<AcceptancePoint> {
-    let hydra = HydraAllocator::default();
-    let single = SingleCoreAllocator::default();
-    let mut points = Vec::new();
-    for &cores in &config.cores {
-        let synth = SyntheticConfig::paper_default(cores);
-        for utilization in sweep_points(&synth, config.max_points) {
-            let mut rng = StdRng::seed_from_u64(
-                config
-                    .seed
-                    .wrapping_add(cores as u64)
-                    .wrapping_add((utilization * 1000.0) as u64),
-            );
-            let mut hydra_counter = AcceptanceCounter::new();
-            let mut single_counter = AcceptanceCounter::new();
-            let mut evaluated = 0;
-            for _ in 0..config.trials {
-                let problem = generate_problem(&synth, utilization, &mut rng);
-                // Discard task sets that are trivially unschedulable on the
-                // platform (Eq. 1 applied to the whole workload with the
-                // security tasks at their desired periods).
-                if !necessary_condition_default_horizon(&problem.rt_tasks, cores) {
-                    continue;
-                }
-                evaluated += 1;
-                hydra_counter.record(hydra.allocate(&problem).is_ok());
-                single_counter.record(single.allocate(&problem).is_ok());
-            }
-            points.push(AcceptancePoint {
-                cores,
-                utilization,
-                evaluated,
-                hydra: hydra_counter.ratio(),
-                single_core: single_counter.ratio(),
+    let result = Executor::parallel().run(&config.spec());
+    points_from(&aggregate(&result.outcomes))
+}
+
+/// Builds the Figure 2 series from the engine's aggregate rows.
+#[must_use]
+pub fn points_from(rows: &[rt_dse::AggregateRow]) -> Vec<AcceptancePoint> {
+    let row_for = |cores: usize, utilization: Option<f64>, kind: AllocatorKind| {
+        rows.iter()
+            .find(|r| r.cores == cores && r.utilization == utilization && r.allocator == kind)
+    };
+    rows.iter()
+        .filter(|r| r.allocator == AllocatorKind::Hydra)
+        .map(|hydra| {
+            let single = row_for(hydra.cores, hydra.utilization, AllocatorKind::SingleCore)
+                .expect("the spec runs SingleCore at every point HYDRA runs");
+            AcceptancePoint {
+                cores: hydra.cores,
+                utilization: hydra.utilization.unwrap_or(0.0),
+                evaluated: hydra.feasible,
+                hydra: hydra.acceptance_ratio,
+                single_core: single.acceptance_ratio,
                 improvement_percent: acceptance_improvement_percent(
-                    hydra_counter.ratio(),
-                    single_counter.ratio(),
+                    hydra.acceptance_ratio,
+                    single.acceptance_ratio,
                 ),
-            });
-        }
-    }
-    points
+            }
+        })
+        .collect()
 }
 
 /// Renders the Figure 2 series as a table.
@@ -192,7 +185,12 @@ mod tests {
         let points = run(&config);
         let low = &points[0];
         assert!(low.utilization < 0.3);
-        assert!(low.hydra > 0.9, "HYDRA acceptance {} at U = {}", low.hydra, low.utilization);
+        assert!(
+            low.hydra > 0.9,
+            "HYDRA acceptance {} at U = {}",
+            low.hydra,
+            low.utilization
+        );
         assert!((low.improvement_percent).abs() < 50.0);
     }
 
@@ -218,8 +216,19 @@ mod tests {
 
     #[test]
     fn full_sweep_has_39_points_per_core_count() {
-        let synth = SyntheticConfig::paper_default(8);
-        assert_eq!(sweep_points(&synth, None).len(), 39);
-        assert_eq!(sweep_points(&synth, Some(10)).len(), 10);
+        assert_eq!(crate::capped_paper_fractions(None).len(), 39);
+        assert_eq!(crate::capped_paper_fractions(Some(10)).len(), 10);
+        let spec = Fig2Config::default().spec();
+        assert_eq!(spec.utilizations.points(8).len(), 39);
+    }
+
+    #[test]
+    fn the_spec_pairs_both_schemes_on_shared_task_sets() {
+        let spec = Fig2Config::quick().spec();
+        let grid = rt_dse::ScenarioGrid::expand(&spec);
+        for pair in grid.scenarios().chunks(2) {
+            assert_eq!(pair[0].problem_stream, pair[1].problem_stream);
+            assert_ne!(pair[0].allocator, pair[1].allocator);
+        }
     }
 }

@@ -22,6 +22,23 @@ pub mod fig3;
 pub mod report;
 pub mod table1;
 
+/// The paper's 39 per-core utilization fractions (`0.025, 0.05, …, 0.975`),
+/// optionally capped to `max_points` values taken evenly across the sweep —
+/// the utilization axis shared by the Figure 2 and Figure 3 specs.
+#[must_use]
+pub(crate) fn capped_paper_fractions(max_points: Option<usize>) -> Vec<f64> {
+    let all: Vec<f64> = (1..=39).map(|i| 0.025 * i as f64).collect();
+    match max_points {
+        Some(k) if k < all.len() && k >= 2 => {
+            let step = (all.len() - 1) as f64 / (k - 1) as f64;
+            (0..k)
+                .map(|i| all[(i as f64 * step).round() as usize])
+                .collect()
+        }
+        _ => all,
+    }
+}
+
 /// Parses `--key value` style command-line options shared by the experiment
 /// binaries. Unknown keys are ignored so each binary can pick what it needs.
 #[derive(Debug, Clone, PartialEq)]

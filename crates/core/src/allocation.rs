@@ -260,13 +260,10 @@ mod tests {
     use rt_core::RtTask;
 
     fn sample_problem() -> AllocationProblem {
-        let rt: TaskSet = vec![RtTask::implicit_deadline(
-            Time::from_millis(10),
-            Time::from_millis(100),
-        )
-        .unwrap()]
-        .into_iter()
-        .collect();
+        let rt: TaskSet =
+            vec![RtTask::implicit_deadline(Time::from_millis(10), Time::from_millis(100)).unwrap()]
+                .into_iter()
+                .collect();
         let sec: SecurityTaskSet = vec![SecurityTask::new(
             Time::from_millis(10),
             Time::from_millis(1000),

@@ -148,9 +148,7 @@ impl HydraAllocator {
                         tightness: choice.tightness,
                     });
                 }
-                None => {
-                    return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) })
-                }
+                None => return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) }),
             }
         }
 
@@ -199,21 +197,13 @@ mod tests {
         .unwrap()
     }
 
-    fn verify_allocation(
-        problem: &AllocationProblem,
-        allocation: &Allocation,
-    ) {
+    fn verify_allocation(problem: &AllocationProblem, allocation: &Allocation) {
         // Every security task placed on a valid core with a period within its
         // bounds, and the per-core plans satisfy Eq. (6).
         for core in allocation.rt_partition().core_ids() {
             let rt_bound = rt_interference_on(&problem.rt_tasks, allocation.rt_partition(), core);
             let mut ids = allocation.security_tasks_on(core);
-            ids.sort_by_key(|&id| {
-                (
-                    problem.security_tasks[id].max_period(),
-                    id.0,
-                )
-            });
+            ids.sort_by_key(|&id| (problem.security_tasks[id].max_period(), id.0));
             let tasks: Vec<&SecurityTask> =
                 ids.iter().map(|&id| &problem.security_tasks[id]).collect();
             let periods: Vec<Time> = ids.iter().map(|&id| allocation.period_of(id)).collect();
@@ -244,11 +234,8 @@ mod tests {
         let sec_tasks = crate::catalog::table1_tasks();
         let mut previous = 0.0;
         for cores in [2usize, 4, 8] {
-            let problem = AllocationProblem::new(
-                crate::casestudy::uav_rt_tasks(),
-                sec_tasks.clone(),
-                cores,
-            );
+            let problem =
+                AllocationProblem::new(crate::casestudy::uav_rt_tasks(), sec_tasks.clone(), cores);
             let allocation = HydraAllocator::default().allocate(&problem).unwrap();
             let tightness = allocation.cumulative_tightness(&sec_tasks);
             assert!(
@@ -299,8 +286,8 @@ mod tests {
         // achieve tightness 1 while later ones may be stretched.
         let rt_tasks: TaskSet = vec![rt(40, 100)].into_iter().collect();
         let sec_tasks: SecurityTaskSet = vec![
-            sec(300, 1000, 8_000),  // lower priority (larger T^max)
-            sec(200, 500, 4_000),   // higher priority
+            sec(300, 1000, 8_000), // lower priority (larger T^max)
+            sec(200, 500, 4_000),  // higher priority
         ]
         .into_iter()
         .collect();
@@ -318,8 +305,9 @@ mod tests {
         // cores: the second task should avoid the core already hosting the
         // first one because its tightness is better on the empty core.
         let rt_tasks = TaskSet::empty();
-        let sec_tasks: SecurityTaskSet =
-            vec![sec(600, 1000, 10_000), sec(600, 1000, 10_000)].into_iter().collect();
+        let sec_tasks: SecurityTaskSet = vec![sec(600, 1000, 10_000), sec(600, 1000, 10_000)]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(rt_tasks, sec_tasks, 2);
         let allocation = HydraAllocator::default().allocate(&problem).unwrap();
         assert_ne!(
@@ -332,8 +320,9 @@ mod tests {
     #[test]
     fn first_feasible_selection_piles_onto_core_zero() {
         let rt_tasks = TaskSet::empty();
-        let sec_tasks: SecurityTaskSet =
-            vec![sec(100, 1000, 10_000), sec(100, 1000, 10_000)].into_iter().collect();
+        let sec_tasks: SecurityTaskSet = vec![sec(100, 1000, 10_000), sec(100, 1000, 10_000)]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(rt_tasks, sec_tasks, 2);
         let allocation = HydraAllocator::with_selection(CoreSelection::FirstFeasible)
             .allocate(&problem)

@@ -105,7 +105,7 @@ impl Allocator for OptimalAllocator {
             let mut total = 0.0;
             let mut placements: Vec<Option<SecurityPlacement>> = vec![None; n];
             let mut feasible = true;
-            for m in 0..cores {
+            for (m, rt_bound) in rt_bounds.iter().enumerate().take(cores) {
                 let ids: Vec<SecurityTaskId> = priority_order
                     .iter()
                     .enumerate()
@@ -116,7 +116,7 @@ impl Allocator for OptimalAllocator {
                 }
                 let tasks: Vec<&SecurityTask> =
                     ids.iter().map(|&id| &problem.security_tasks[id]).collect();
-                match optimize_core_periods(&tasks, &rt_bounds[m], &self.joint) {
+                match optimize_core_periods(&tasks, rt_bound, &self.joint) {
                     Some(plan) => {
                         total += plan.weighted_tightness;
                         for (k, &id) in ids.iter().enumerate() {
@@ -138,7 +138,7 @@ impl Allocator for OptimalAllocator {
                     .into_iter()
                     .map(|p| p.expect("feasible assignment placed every task"))
                     .collect();
-                if best.as_ref().map_or(true, |(b, _)| total > *b) {
+                if best.as_ref().is_none_or(|(b, _)| total > *b) {
                     best = Some((total, placements));
                 }
             }
@@ -189,11 +189,8 @@ mod tests {
     fn optimal_never_loses_to_hydra_on_the_case_study() {
         let sec_tasks = crate::catalog::table1_tasks();
         for cores in [2usize, 4] {
-            let problem = AllocationProblem::new(
-                crate::casestudy::uav_rt_tasks(),
-                sec_tasks.clone(),
-                cores,
-            );
+            let problem =
+                AllocationProblem::new(crate::casestudy::uav_rt_tasks(), sec_tasks.clone(), cores);
             let hydra = HydraAllocator::default().allocate(&problem).unwrap();
             let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
             assert!(
@@ -208,8 +205,9 @@ mod tests {
     fn optimal_finds_the_split_hydra_would_also_find() {
         // Two heavy security tasks, two idle cores: both schemes should give
         // both tasks their desired period by splitting them.
-        let sec_tasks: SecurityTaskSet =
-            vec![sec(600, 1000, 10_000), sec(600, 1000, 10_000)].into_iter().collect();
+        let sec_tasks: SecurityTaskSet = vec![sec(600, 1000, 10_000), sec(600, 1000, 10_000)]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks.clone(), 2);
         let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
         assert!((optimal.cumulative_tightness(&sec_tasks) - 2.0).abs() < 1e-9);
@@ -223,12 +221,9 @@ mod tests {
     fn optimal_beats_greedy_when_stretching_helps() {
         // Single core with the "hog + victim" geometry from the joint module:
         // HYDRA's greedy periods are strictly worse than the refined ones.
-        let sec_tasks: SecurityTaskSet = vec![
-            sec(900, 920, 100_000),
-            sec(100, 2_000, 200_000),
-        ]
-        .into_iter()
-        .collect();
+        let sec_tasks: SecurityTaskSet = vec![sec(900, 920, 100_000), sec(100, 2_000, 200_000)]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks.clone(), 1);
         let hydra = HydraAllocator::default().allocate(&problem).unwrap();
         let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
@@ -267,8 +262,11 @@ mod tests {
 
     #[test]
     fn empty_security_set_is_trivially_optimal() {
-        let problem =
-            AllocationProblem::new(crate::casestudy::uav_rt_tasks(), SecurityTaskSet::empty(), 2);
+        let problem = AllocationProblem::new(
+            crate::casestudy::uav_rt_tasks(),
+            SecurityTaskSet::empty(),
+            2,
+        );
         let allocation = OptimalAllocator::default().allocate(&problem).unwrap();
         assert!(allocation.is_empty());
     }

@@ -151,10 +151,7 @@ mod tests {
             assert_eq!(p.core, CoreId(3));
         }
         // No real-time task shares that core.
-        assert!(allocation
-            .rt_partition()
-            .tasks_on(CoreId(3))
-            .is_empty());
+        assert!(allocation.rt_partition().tasks_on(CoreId(3)).is_empty());
     }
 
     #[test]
@@ -225,11 +222,8 @@ mod tests {
         // cumulative tightness is at least as good as SingleCore's.
         for cores in [2usize, 4, 8] {
             let sec_tasks = crate::catalog::table1_tasks();
-            let problem = AllocationProblem::new(
-                crate::casestudy::uav_rt_tasks(),
-                sec_tasks.clone(),
-                cores,
-            );
+            let problem =
+                AllocationProblem::new(crate::casestudy::uav_rt_tasks(), sec_tasks.clone(), cores);
             let hydra = HydraAllocator::default().allocate(&problem).unwrap();
             let single = SingleCoreAllocator::default().allocate(&problem).unwrap();
             assert!(

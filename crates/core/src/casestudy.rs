@@ -106,7 +106,9 @@ mod tests {
     fn scaled_workload_multiplies_tasks() {
         let scaled = uav_rt_tasks_scaled(3);
         assert_eq!(scaled.len(), 18);
-        assert!((scaled.total_utilization() - 3.0 * uav_rt_tasks().total_utilization()).abs() < 1e-9);
+        assert!(
+            (scaled.total_utilization() - 3.0 * uav_rt_tasks().total_utilization()).abs() < 1e-9
+        );
         // Names stay unique across copies.
         let mut names: Vec<String> = scaled
             .tasks()

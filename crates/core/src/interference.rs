@@ -46,7 +46,10 @@ impl InterferenceBound {
     ///
     /// Panics if `period` is zero.
     pub fn add_task(&mut self, wcet: Time, period: Time) {
-        assert!(!period.is_zero(), "interfering task must have a positive period");
+        assert!(
+            !period.is_zero(),
+            "interfering task must have a positive period"
+        );
         self.constant += wcet.as_ticks() as f64;
         self.slope += wcet.ratio(period);
     }
@@ -70,7 +73,11 @@ impl InterferenceBound {
 /// Interference contributed by the real-time tasks partitioned onto `core`
 /// (the first summation of Eq. 5).
 #[must_use]
-pub fn rt_interference_on(rt_tasks: &TaskSet, partition: &Partition, core: CoreId) -> InterferenceBound {
+pub fn rt_interference_on(
+    rt_tasks: &TaskSet,
+    partition: &Partition,
+    core: CoreId,
+) -> InterferenceBound {
     let mut bound = InterferenceBound::zero();
     for (_, task) in partition.iter_core(rt_tasks, core) {
         bound.add_task(task.wcet(), task.period());
@@ -136,7 +143,9 @@ mod tests {
     #[test]
     fn bound_matches_eq5_for_a_concrete_partition() {
         // Two RT tasks on core 0, one on core 1.
-        let rt_tasks: TaskSet = vec![rt(5, 20), rt(10, 100), rt(8, 40)].into_iter().collect();
+        let rt_tasks: TaskSet = vec![rt(5, 20), rt(10, 100), rt(8, 40)]
+            .into_iter()
+            .collect();
         let mut partition = Partition::new(3, 2);
         partition.assign(TaskId(0), CoreId(0));
         partition.assign(TaskId(1), CoreId(0));

@@ -205,7 +205,10 @@ pub fn optimize_core_periods(
     }
 
     Some(CorePlan {
-        periods: periods.iter().map(|&p| Time::from_ticks(p as u64)).collect(),
+        periods: periods
+            .iter()
+            .map(|&p| Time::from_ticks(p as u64))
+            .collect(),
         weighted_tightness: weighted_tightness(tasks, &periods),
     })
 }
@@ -263,7 +266,8 @@ mod tests {
 
     #[test]
     fn empty_core_is_trivially_optimal() {
-        let plan = optimize_core_periods(&[], &bound(100.0, 0.5), &JointOptions::default()).unwrap();
+        let plan =
+            optimize_core_periods(&[], &bound(100.0, 0.5), &JointOptions::default()).unwrap();
         assert!(plan.periods.is_empty());
         assert_eq!(plan.weighted_tightness, 0.0);
     }
@@ -285,8 +289,7 @@ mod tests {
         let t3 = sec(300, 2000, 60_000);
         let tasks = vec![&t1, &t2, &t3];
         let b = bound(300.0, 0.55);
-        let greedy =
-            optimize_core_periods(&tasks, &b, &JointOptions::greedy_only()).unwrap();
+        let greedy = optimize_core_periods(&tasks, &b, &JointOptions::greedy_only()).unwrap();
         let refined = optimize_core_periods(&tasks, &b, &JointOptions::default()).unwrap();
         assert!(refined.weighted_tightness >= greedy.weighted_tightness - 1e-12);
         assert!(plan_is_feasible(&tasks, &b, &refined.periods));
@@ -365,8 +368,9 @@ mod tests {
         let hog = sec(900, 920, 100_000).with_weight(100.0).unwrap();
         let victim = sec(100, 2_000, 200_000);
         let tasks = vec![&hog, &victim];
-        let plan = optimize_core_periods(&tasks, &InterferenceBound::zero(), &JointOptions::default())
-            .unwrap();
+        let plan =
+            optimize_core_periods(&tasks, &InterferenceBound::zero(), &JointOptions::default())
+                .unwrap();
         let hog_tightness = hog.tightness(plan.periods[0]);
         assert!(
             hog_tightness > 0.95,

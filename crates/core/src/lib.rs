@@ -55,10 +55,10 @@ pub mod precedence;
 pub mod security;
 pub mod sensitivity;
 
-pub use allocation::{
-    Allocation, AllocationError, AllocationProblem, SecurityPlacement,
+pub use allocation::{Allocation, AllocationError, AllocationProblem, SecurityPlacement};
+pub use allocator::{
+    Allocator, CoreSelection, HydraAllocator, OptimalAllocator, SingleCoreAllocator,
 };
-pub use allocator::{Allocator, CoreSelection, HydraAllocator, OptimalAllocator, SingleCoreAllocator};
 pub use interference::InterferenceBound;
 pub use nonpreemptive::NpHydraAllocator;
 pub use period::PeriodChoice;

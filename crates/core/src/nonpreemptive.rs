@@ -195,9 +195,7 @@ impl NpHydraAllocator {
                         tightness: choice.tightness,
                     });
                 }
-                None => {
-                    return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) })
-                }
+                None => return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) }),
             }
         }
 
@@ -263,8 +261,9 @@ mod tests {
         // 300 ms non-preemptive check would wreck it, so the check must land
         // on the other core (which has a tolerant RT task).
         let rt_tasks: TaskSet = vec![rt(6, 10), rt(50, 1000)].into_iter().collect();
-        let sec_tasks: SecurityTaskSet =
-            vec![sec(300, 2000, 20_000).non_preemptive()].into_iter().collect();
+        let sec_tasks: SecurityTaskSet = vec![sec(300, 2000, 20_000).non_preemptive()]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(rt_tasks.clone(), sec_tasks, 2);
         let allocation = NpHydraAllocator::default().allocate(&problem).unwrap();
         let rt_partition = allocation.rt_partition();
@@ -281,8 +280,9 @@ mod tests {
         // Every core hosts a tight RT task; the long non-preemptive check can
         // go nowhere even though preemptive HYDRA would accept it.
         let rt_tasks: TaskSet = vec![rt(6, 10), rt(6, 10)].into_iter().collect();
-        let sec_tasks_np: SecurityTaskSet =
-            vec![sec(300, 2000, 20_000).non_preemptive()].into_iter().collect();
+        let sec_tasks_np: SecurityTaskSet = vec![sec(300, 2000, 20_000).non_preemptive()]
+            .into_iter()
+            .collect();
         let sec_tasks_p: SecurityTaskSet = vec![sec(300, 2000, 20_000)].into_iter().collect();
         let np_problem = AllocationProblem::new(rt_tasks.clone(), sec_tasks_np, 2);
         let p_problem = AllocationProblem::new(rt_tasks, sec_tasks_p, 2);
@@ -306,11 +306,14 @@ mod tests {
         let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 1);
         assert!(matches!(
             NpHydraAllocator::default().allocate(&problem),
-            Err(AllocationError::SecurityUnschedulable { task: Some(SecurityTaskId(1)) })
+            Err(AllocationError::SecurityUnschedulable {
+                task: Some(SecurityTaskId(1))
+            })
         ));
         // The same workload with a preemptive low-priority task is fine.
-        let sec_tasks: SecurityTaskSet =
-            vec![sec(900, 1000, 1_050), sec(600, 2000, 20_000)].into_iter().collect();
+        let sec_tasks: SecurityTaskSet = vec![sec(900, 1000, 1_050), sec(600, 2000, 20_000)]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(TaskSet::empty(), sec_tasks, 1);
         assert!(NpHydraAllocator::default().allocate(&problem).is_ok());
     }

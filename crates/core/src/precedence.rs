@@ -360,9 +360,7 @@ impl PrecedenceHydraAllocator {
                         tightness: choice.tightness,
                     });
                 }
-                None => {
-                    return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) })
-                }
+                None => return Err(AllocationError::SecurityUnschedulable { task: Some(sec_id) }),
             }
         }
 
@@ -412,8 +410,10 @@ mod tests {
     fn graph_construction_and_queries() {
         let mut g = PrecedenceGraph::new(3);
         assert!(g.has_no_constraints());
-        g.add_dependency(SecurityTaskId(0), SecurityTaskId(1)).unwrap();
-        g.add_dependency(SecurityTaskId(0), SecurityTaskId(2)).unwrap();
+        g.add_dependency(SecurityTaskId(0), SecurityTaskId(1))
+            .unwrap();
+        g.add_dependency(SecurityTaskId(0), SecurityTaskId(2))
+            .unwrap();
         assert!(!g.has_no_constraints());
         assert_eq!(g.successors(SecurityTaskId(0)).len(), 2);
         assert_eq!(g.predecessors(SecurityTaskId(2)), vec![SecurityTaskId(0)]);
@@ -432,7 +432,8 @@ mod tests {
             g.add_dependency(SecurityTaskId(0), SecurityTaskId(5)),
             Err(PrecedenceError::UnknownTask(SecurityTaskId(5)))
         );
-        g.add_dependency(SecurityTaskId(0), SecurityTaskId(1)).unwrap();
+        g.add_dependency(SecurityTaskId(0), SecurityTaskId(1))
+            .unwrap();
         assert_eq!(
             g.add_dependency(SecurityTaskId(1), SecurityTaskId(0)),
             Err(PrecedenceError::Cyclic)
@@ -444,8 +445,10 @@ mod tests {
     #[test]
     fn topological_order_respects_edges() {
         let mut g = PrecedenceGraph::new(4);
-        g.add_dependency(SecurityTaskId(2), SecurityTaskId(0)).unwrap();
-        g.add_dependency(SecurityTaskId(0), SecurityTaskId(3)).unwrap();
+        g.add_dependency(SecurityTaskId(2), SecurityTaskId(0))
+            .unwrap();
+        g.add_dependency(SecurityTaskId(0), SecurityTaskId(3))
+            .unwrap();
         let order = g.topological_order().unwrap();
         let pos = |id: SecurityTaskId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(SecurityTaskId(2)) < pos(SecurityTaskId(0)));
@@ -470,7 +473,8 @@ mod tests {
         // With an edge 0 → 1, task 0 must be pulled ahead of task 1 despite
         // the lower priority.
         let mut g = PrecedenceGraph::new(3);
-        g.add_dependency(SecurityTaskId(0), SecurityTaskId(1)).unwrap();
+        g.add_dependency(SecurityTaskId(0), SecurityTaskId(1))
+            .unwrap();
         let order = g.allocation_order(&tasks).unwrap();
         let pos = |id: SecurityTaskId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(SecurityTaskId(0)) < pos(SecurityTaskId(1)));
@@ -502,41 +506,43 @@ mod tests {
             .add_dependency(SecurityTaskId(0), SecurityTaskId(1))
             .unwrap();
         // One busy core so the predecessor really is stretched.
-        let rt_tasks: rt_core::TaskSet = vec![rt_core::RtTask::implicit_deadline(
-            Time::from_millis(60),
-            Time::from_millis(100),
-        )
-        .unwrap()]
-        .into_iter()
-        .collect();
+        let rt_tasks: rt_core::TaskSet =
+            vec![
+                rt_core::RtTask::implicit_deadline(Time::from_millis(60), Time::from_millis(100))
+                    .unwrap(),
+            ]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(rt_tasks, tasks, 1);
-        let allocation = PrecedenceHydraAllocator::new(graph).allocate(&problem).unwrap();
+        let allocation = PrecedenceHydraAllocator::new(graph)
+            .allocate(&problem)
+            .unwrap();
         let pred = allocation.period_of(SecurityTaskId(0));
         let succ = allocation.period_of(SecurityTaskId(1));
-        assert!(pred > Time::from_millis(1000), "predecessor was not stretched");
-        assert!(succ >= pred, "successor period {succ} beats predecessor {pred}");
+        assert!(
+            pred > Time::from_millis(1000),
+            "predecessor was not stretched"
+        );
+        assert!(
+            succ >= pred,
+            "successor period {succ} beats predecessor {pred}"
+        );
     }
 
     #[test]
     fn without_constraints_the_result_matches_plain_hydra() {
-        let problem = AllocationProblem::new(
-            crate::casestudy::uav_rt_tasks(),
-            table1_tasks(),
-            4,
-        );
+        let problem = AllocationProblem::new(crate::casestudy::uav_rt_tasks(), table1_tasks(), 4);
         let plain = HydraAllocator::default().allocate(&problem).unwrap();
         let graph = PrecedenceGraph::new(problem.security_tasks.len());
-        let constrained = PrecedenceHydraAllocator::new(graph).allocate(&problem).unwrap();
+        let constrained = PrecedenceHydraAllocator::new(graph)
+            .allocate(&problem)
+            .unwrap();
         assert_eq!(plain, constrained);
     }
 
     #[test]
     fn table1_precedence_allocates_and_respects_the_self_check_rule() {
-        let problem = AllocationProblem::new(
-            crate::casestudy::uav_rt_tasks(),
-            table1_tasks(),
-            2,
-        );
+        let problem = AllocationProblem::new(crate::casestudy::uav_rt_tasks(), table1_tasks(), 2);
         let allocator = PrecedenceHydraAllocator::new(table1_precedence());
         assert_eq!(allocator.name(), "HYDRA+precedence");
         let allocation = allocator.allocate(&problem).unwrap();
@@ -563,17 +569,19 @@ mod tests {
         graph
             .add_dependency(SecurityTaskId(0), SecurityTaskId(1))
             .unwrap();
-        let rt_tasks: rt_core::TaskSet = vec![rt_core::RtTask::implicit_deadline(
-            Time::from_millis(90),
-            Time::from_millis(100),
-        )
-        .unwrap()]
-        .into_iter()
-        .collect();
+        let rt_tasks: rt_core::TaskSet =
+            vec![
+                rt_core::RtTask::implicit_deadline(Time::from_millis(90), Time::from_millis(100))
+                    .unwrap(),
+            ]
+            .into_iter()
+            .collect();
         let problem = AllocationProblem::new(rt_tasks, tasks, 1);
         assert!(matches!(
             PrecedenceHydraAllocator::new(graph).allocate(&problem),
-            Err(AllocationError::SecurityUnschedulable { task: Some(SecurityTaskId(1)) })
+            Err(AllocationError::SecurityUnschedulable {
+                task: Some(SecurityTaskId(1))
+            })
         ));
     }
 }

@@ -60,14 +60,12 @@ impl fmt::Display for SecurityTaskError {
             SecurityTaskError::ZeroDesiredPeriod => {
                 write!(f, "desired period must be positive")
             }
-            SecurityTaskError::DesiredExceedsMax { desired, max } => write!(
-                f,
-                "desired period {desired} exceeds maximum period {max}"
-            ),
-            SecurityTaskError::WcetExceedsMaxPeriod { wcet, max } => write!(
-                f,
-                "WCET {wcet} exceeds the maximum period {max}"
-            ),
+            SecurityTaskError::DesiredExceedsMax { desired, max } => {
+                write!(f, "desired period {desired} exceeds maximum period {max}")
+            }
+            SecurityTaskError::WcetExceedsMaxPeriod { wcet, max } => {
+                write!(f, "WCET {wcet} exceeds the maximum period {max}")
+            }
             SecurityTaskError::InvalidWeight(w) => {
                 write!(f, "weight must be positive and finite, got {w}")
             }
@@ -435,7 +433,10 @@ mod tests {
 
     #[test]
     fn valid_construction_and_accessors() {
-        let t = sec(20, 1000, 10_000).with_name("bro").with_weight(2.0).unwrap();
+        let t = sec(20, 1000, 10_000)
+            .with_name("bro")
+            .with_weight(2.0)
+            .unwrap();
         assert_eq!(t.wcet(), Time::from_millis(20));
         assert_eq!(t.desired_period(), Time::from_millis(1000));
         assert_eq!(t.max_period(), Time::from_millis(10_000));
@@ -535,7 +536,9 @@ mod tests {
 
     #[test]
     fn priority_ties_broken_by_id() {
-        let set: SecurityTaskSet = vec![sec(1, 100, 1000), sec(1, 100, 1000)].into_iter().collect();
+        let set: SecurityTaskSet = vec![sec(1, 100, 1000), sec(1, 100, 1000)]
+            .into_iter()
+            .collect();
         assert_eq!(
             set.ids_by_priority(),
             vec![SecurityTaskId(0), SecurityTaskId(1)]

@@ -23,7 +23,10 @@ use crate::security::SecurityTaskId;
 /// allocation's task order. A small slack means the task is close to the
 /// point where its monitoring becomes ineffective.
 #[must_use]
-pub fn period_slack(problem: &AllocationProblem, allocation: &Allocation) -> Vec<(SecurityTaskId, Time)> {
+pub fn period_slack(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+) -> Vec<(SecurityTaskId, Time)> {
     allocation
         .iter()
         .map(|(id, placement)| {
@@ -182,8 +185,7 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let scaled_problem =
-            AllocationProblem::new(problem.rt_tasks.clone(), scaled, 2);
+        let scaled_problem = AllocationProblem::new(problem.rt_tasks.clone(), scaled, 2);
         assert!(HydraAllocator::default().allocate(&scaled_problem).is_ok());
     }
 
@@ -209,13 +211,10 @@ mod tests {
     #[test]
     fn saturated_core_reports_margin_close_to_one() {
         // A security task granted a period with almost no slack.
-        let rt_tasks: TaskSet = vec![RtTask::implicit_deadline(
-            Time::from_millis(50),
-            Time::from_millis(100),
-        )
-        .unwrap()]
-        .into_iter()
-        .collect();
+        let rt_tasks: TaskSet =
+            vec![RtTask::implicit_deadline(Time::from_millis(50), Time::from_millis(100)).unwrap()]
+                .into_iter()
+                .collect();
         let sec_tasks: SecurityTaskSet = vec![SecurityTask::new(
             Time::from_millis(470),
             Time::from_millis(1000),
@@ -227,6 +226,6 @@ mod tests {
         let problem = AllocationProblem::new(rt_tasks, sec_tasks, 1);
         let allocation = HydraAllocator::default().allocate(&problem).unwrap();
         let margin = wcet_scaling_margin(&problem, &allocation);
-        assert!(margin >= 1.0 && margin < 1.2, "margin {margin}");
+        assert!((1.0..1.2).contains(&margin), "margin {margin}");
     }
 }

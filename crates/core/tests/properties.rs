@@ -36,11 +36,7 @@ fn arb_problem(max_cores: usize) -> impl Strategy<Value = AllocationProblem> {
         1..=max_cores,
     )
         .prop_map(|(rt, sec, cores)| {
-            AllocationProblem::new(
-                TaskSet::new(rt),
-                SecurityTaskSet::new(sec),
-                cores,
-            )
+            AllocationProblem::new(TaskSet::new(rt), SecurityTaskSet::new(sec), cores)
         })
 }
 
@@ -107,18 +103,16 @@ proptest! {
         // only under first-fit. We therefore check the weaker, still
         // paper-relevant direction on the *same* RT partition width: if
         // SingleCore succeeds, HYDRA must not fail on the RT side.
-        if problem.cores >= 2 {
-            if SingleCoreAllocator::default().allocate(&problem).is_ok() {
-                match HydraAllocator::default().allocate(&problem) {
-                    Ok(_) => {}
-                    Err(hydra_core::AllocationError::RtPartitionFailed { .. }) => {
-                        prop_assert!(false, "HYDRA failed to partition RT tasks that fit on fewer cores");
-                    }
-                    // A security-side failure is theoretically possible when
-                    // best-fit leaves no lightly-loaded core; it must be rare
-                    // but is not a soundness violation.
-                    Err(_) => {}
+        if problem.cores >= 2 && SingleCoreAllocator::default().allocate(&problem).is_ok() {
+            match HydraAllocator::default().allocate(&problem) {
+                Ok(_) => {}
+                Err(hydra_core::AllocationError::RtPartitionFailed { .. }) => {
+                    prop_assert!(false, "HYDRA failed to partition RT tasks that fit on fewer cores");
                 }
+                // A security-side failure is theoretically possible when
+                // best-fit leaves no lightly-loaded core; it must be rare
+                // but is not a soundness violation.
+                Err(_) => {}
             }
         }
     }

@@ -260,7 +260,10 @@ impl Posynomial {
     /// Panics if the posynomial is empty.
     #[must_use]
     pub fn eval_log(&self, y: &[f64]) -> f64 {
-        assert!(!self.terms.is_empty(), "cannot evaluate an empty posynomial");
+        assert!(
+            !self.terms.is_empty(),
+            "cannot evaluate an empty posynomial"
+        );
         let logs: Vec<f64> = self.terms.iter().map(|t| t.eval_log(y)).collect();
         log_sum_exp(&logs)
     }
@@ -274,7 +277,10 @@ impl Posynomial {
     /// Panics if the posynomial is empty.
     #[must_use]
     pub fn grad_log(&self, y: &[f64]) -> Vec<f64> {
-        assert!(!self.terms.is_empty(), "cannot differentiate an empty posynomial");
+        assert!(
+            !self.terms.is_empty(),
+            "cannot differentiate an empty posynomial"
+        );
         let logs: Vec<f64> = self.terms.iter().map(|t| t.eval_log(y)).collect();
         let lse = log_sum_exp(&logs);
         let mut grad = vec![0.0; self.num_vars];

@@ -98,7 +98,10 @@ impl GpProblem {
     /// Panics if `num_vars` is zero.
     #[must_use]
     pub fn new(num_vars: usize) -> Self {
-        assert!(num_vars > 0, "a geometric program needs at least one variable");
+        assert!(
+            num_vars > 0,
+            "a geometric program needs at least one variable"
+        );
         GpProblem {
             num_vars,
             objective: None,
@@ -164,7 +167,11 @@ impl GpProblem {
     ///
     /// Panics if the point has the wrong dimension or non-positive entries.
     pub fn set_initial_point(&mut self, point: Vec<f64>) {
-        assert_eq!(point.len(), self.num_vars, "initial point dimension mismatch");
+        assert_eq!(
+            point.len(),
+            self.num_vars,
+            "initial point dimension mismatch"
+        );
         assert!(
             point.iter().all(|v| *v > 0.0 && v.is_finite()),
             "initial point must be strictly positive and finite"
@@ -265,7 +272,10 @@ mod tests {
         p.set_objective(Posynomial::from(Monomial::new(1.0, vec![1.0])));
         assert!(matches!(
             p.solve(&SolverOptions::default()),
-            Err(GpError::DimensionMismatch { expected: 2, found: 1 })
+            Err(GpError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 

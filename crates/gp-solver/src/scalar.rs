@@ -71,7 +71,10 @@ pub fn minimize_linear_fractional(lower: f64, upper: f64, a: f64, b: f64) -> Sca
         "all parameters must be finite"
     );
     assert!(lower > 0.0, "lower bound must be positive, got {lower}");
-    assert!(upper >= lower, "upper bound {upper} below lower bound {lower}");
+    assert!(
+        upper >= lower,
+        "upper bound {upper} below lower bound {lower}"
+    );
     assert!(a >= 0.0 && b >= 0.0, "a and b must be non-negative");
 
     if b >= 1.0 {

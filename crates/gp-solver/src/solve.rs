@@ -65,12 +65,7 @@ impl SolverOptions {
     }
 }
 
-fn merit_value(
-    objective: &Posynomial,
-    constraints: &[Posynomial],
-    y: &[f64],
-    mu: f64,
-) -> f64 {
+fn merit_value(objective: &Posynomial, constraints: &[Posynomial], y: &[f64], mu: f64) -> f64 {
     let mut v = objective.eval_log(y);
     for c in constraints {
         let g = c.eval_log(y);
@@ -189,7 +184,9 @@ mod tests {
     use crate::problem::GpProblem;
 
     fn solve(problem: &GpProblem) -> GpSolution {
-        problem.solve(&SolverOptions::default()).expect("well-formed problem")
+        problem
+            .solve(&SolverOptions::default())
+            .expect("well-formed problem")
     }
 
     #[test]

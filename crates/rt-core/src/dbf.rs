@@ -45,9 +45,9 @@ pub fn demand_bound(task: &RtTask, t: Time) -> Time {
 /// Total demand of a task set over an interval of length `t`.
 #[must_use]
 pub fn total_demand(tasks: &TaskSet, t: Time) -> Time {
-    tasks
-        .tasks()
-        .fold(Time::ZERO, |acc, task| acc.saturating_add(demand_bound(task, t)))
+    tasks.tasks().fold(Time::ZERO, |acc, task| {
+        acc.saturating_add(demand_bound(task, t))
+    })
 }
 
 /// The check points at which [`necessary_condition_holds`] evaluates the
@@ -111,10 +111,7 @@ pub fn necessary_condition_holds(tasks: &TaskSet, cores: usize, horizon: Time) -
 /// long-run rate check is `U ≤ M`).
 #[must_use]
 pub fn necessary_condition_default_horizon(tasks: &TaskSet, cores: usize) -> bool {
-    let horizon = tasks
-        .max_period()
-        .unwrap_or(Time::ZERO)
-        .saturating_mul(2);
+    let horizon = tasks.max_period().unwrap_or(Time::ZERO).saturating_mul(2);
     necessary_condition_holds(tasks, cores, horizon)
 }
 
@@ -137,10 +134,22 @@ mod tests {
     #[test]
     fn dbf_is_step_function_at_deadlines() {
         let t = task(3, 10);
-        assert_eq!(demand_bound(&t, Time::from_millis(10)), Time::from_millis(3));
-        assert_eq!(demand_bound(&t, Time::from_millis(19)), Time::from_millis(3));
-        assert_eq!(demand_bound(&t, Time::from_millis(20)), Time::from_millis(6));
-        assert_eq!(demand_bound(&t, Time::from_millis(100)), Time::from_millis(30));
+        assert_eq!(
+            demand_bound(&t, Time::from_millis(10)),
+            Time::from_millis(3)
+        );
+        assert_eq!(
+            demand_bound(&t, Time::from_millis(19)),
+            Time::from_millis(3)
+        );
+        assert_eq!(
+            demand_bound(&t, Time::from_millis(20)),
+            Time::from_millis(6)
+        );
+        assert_eq!(
+            demand_bound(&t, Time::from_millis(100)),
+            Time::from_millis(30)
+        );
     }
 
     #[test]
@@ -153,13 +162,19 @@ mod tests {
         .unwrap();
         assert_eq!(demand_bound(&t, Time::from_millis(4)), Time::ZERO);
         assert_eq!(demand_bound(&t, Time::from_millis(5)), Time::from_millis(2));
-        assert_eq!(demand_bound(&t, Time::from_millis(15)), Time::from_millis(4));
+        assert_eq!(
+            demand_bound(&t, Time::from_millis(15)),
+            Time::from_millis(4)
+        );
     }
 
     #[test]
     fn total_demand_sums_tasks() {
         let set: TaskSet = vec![task(2, 10), task(5, 20)].into_iter().collect();
-        assert_eq!(total_demand(&set, Time::from_millis(20)), Time::from_millis(9));
+        assert_eq!(
+            total_demand(&set, Time::from_millis(20)),
+            Time::from_millis(9)
+        );
     }
 
     #[test]

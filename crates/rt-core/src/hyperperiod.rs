@@ -88,13 +88,17 @@ mod tests {
 
     #[test]
     fn hyperperiod_of_harmonic_set() {
-        let set: TaskSet = vec![task(1, 10), task(1, 20), task(1, 40)].into_iter().collect();
+        let set: TaskSet = vec![task(1, 10), task(1, 20), task(1, 40)]
+            .into_iter()
+            .collect();
         assert_eq!(hyperperiod(&set), Time::from_millis(40));
     }
 
     #[test]
     fn hyperperiod_of_coprime_periods() {
-        let set: TaskSet = vec![task(1, 3), task(1, 5), task(1, 7)].into_iter().collect();
+        let set: TaskSet = vec![task(1, 3), task(1, 5), task(1, 7)]
+            .into_iter()
+            .collect();
         assert_eq!(hyperperiod(&set), Time::from_millis(105));
     }
 

@@ -218,9 +218,13 @@ mod tests {
         let rm = PriorityAssignment::assign(&set, PriorityPolicy::RateMonotonic);
         let dm = PriorityAssignment::assign(&set, PriorityPolicy::DeadlineMonotonic);
         // RM ranks task 1 (period 50) above task 0 (period 100)...
-        assert!(rm.priority(TaskId(1)).is_higher_than(rm.priority(TaskId(0))));
+        assert!(rm
+            .priority(TaskId(1))
+            .is_higher_than(rm.priority(TaskId(0))));
         // ...while DM ranks task 0 (deadline 10) above task 1 (deadline 50).
-        assert!(dm.priority(TaskId(0)).is_higher_than(dm.priority(TaskId(1))));
+        assert!(dm
+            .priority(TaskId(0))
+            .is_higher_than(dm.priority(TaskId(1))));
     }
 
     #[test]

@@ -114,7 +114,11 @@ pub fn response_time(
     let target = &tasks[task];
     let hp_ids = priorities.higher_priority_than(task);
     let interferers: Vec<&RtTask> = hp_ids.iter().map(|&id| &tasks[id]).collect();
-    response_time_with_interference(target.wcet(), target.deadline(), interferers.iter().copied())
+    response_time_with_interference(
+        target.wcet(),
+        target.deadline(),
+        interferers.iter().copied(),
+    )
 }
 
 /// Response times of every task in the set under the given priority
@@ -160,7 +164,9 @@ mod tests {
     #[test]
     fn textbook_example_response_times() {
         // Classic example: C/T = 1/4, 2/6, 3/13 — all schedulable under RM.
-        let set: TaskSet = vec![task(1, 4), task(2, 6), task(3, 13)].into_iter().collect();
+        let set: TaskSet = vec![task(1, 4), task(2, 6), task(3, 13)]
+            .into_iter()
+            .collect();
         let pa = rm(&set);
         let r = response_times(&set, &pa);
         assert_eq!(r[0], ResponseTime::Schedulable(Time::from_millis(1)));
@@ -176,16 +182,25 @@ mod tests {
         let set: TaskSet = vec![task(3, 4), task(3, 6)].into_iter().collect();
         let pa = rm(&set);
         assert!(response_time(&set, &pa, TaskId(0)).is_schedulable());
-        assert_eq!(response_time(&set, &pa, TaskId(1)), ResponseTime::Unschedulable);
+        assert_eq!(
+            response_time(&set, &pa, TaskId(1)),
+            ResponseTime::Unschedulable
+        );
         assert!(!is_schedulable_rm(&set));
     }
 
     #[test]
     fn full_utilization_harmonic_set_is_schedulable() {
         // Harmonic periods can reach 100% utilisation under RM.
-        let set: TaskSet = vec![task(1, 2), task(2, 4), task(2, 8)].into_iter().collect();
-        assert!((set.total_utilization() - 1.25).abs() > 1e-9 || true);
-        let set: TaskSet = vec![task(1, 2), task(1, 4), task(2, 8)].into_iter().collect();
+        // An over-utilised variant (U = 1.25) can never be schedulable.
+        let set: TaskSet = vec![task(1, 2), task(2, 4), task(2, 8)]
+            .into_iter()
+            .collect();
+        assert!((set.total_utilization() - 1.25).abs() < 1e-12);
+        assert!(!is_schedulable_rm(&set));
+        let set: TaskSet = vec![task(1, 2), task(1, 4), task(2, 8)]
+            .into_iter()
+            .collect();
         assert!((set.total_utilization() - 1.0).abs() < 1e-12);
         assert!(is_schedulable_rm(&set));
     }
@@ -278,7 +293,9 @@ mod tests {
 
     #[test]
     fn zero_blocking_matches_the_plain_recurrence() {
-        let set: TaskSet = vec![task(1, 4), task(2, 6), task(3, 13)].into_iter().collect();
+        let set: TaskSet = vec![task(1, 4), task(2, 6), task(3, 13)]
+            .into_iter()
+            .collect();
         let pa = rm(&set);
         for id in set.ids() {
             let hp_ids = pa.higher_priority_than(id);

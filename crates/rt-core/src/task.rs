@@ -398,7 +398,9 @@ mod tests {
 
     #[test]
     fn subset_preserves_requested_order() {
-        let set: TaskSet = vec![task(1, 10), task(2, 20), task(3, 30)].into_iter().collect();
+        let set: TaskSet = vec![task(1, 10), task(2, 20), task(3, 30)]
+            .into_iter()
+            .collect();
         let sub = set.subset(&[TaskId(2), TaskId(0), TaskId(9)]);
         assert_eq!(sub.len(), 2);
         assert_eq!(sub[TaskId(0)].period(), Time::from_millis(30));

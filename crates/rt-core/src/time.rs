@@ -235,9 +235,9 @@ impl fmt::Debug for Time {
 
 impl fmt::Display for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= TICKS_PER_SEC && self.0 % TICKS_PER_SEC == 0 {
+        if self.0 >= TICKS_PER_SEC && self.0.is_multiple_of(TICKS_PER_SEC) {
             write!(f, "{}s", self.0 / TICKS_PER_SEC)
-        } else if self.0 >= TICKS_PER_MILLI && self.0 % TICKS_PER_MILLI == 0 {
+        } else if self.0 >= TICKS_PER_MILLI && self.0.is_multiple_of(TICKS_PER_MILLI) {
             write!(f, "{}ms", self.0 / TICKS_PER_MILLI)
         } else {
             write!(f, "{}us", self.as_micros())
@@ -248,11 +248,7 @@ impl fmt::Display for Time {
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
-        Time(
-            self.0
-                .checked_add(rhs.0)
-                .expect("time addition overflowed"),
-        )
+        Time(self.0.checked_add(rhs.0).expect("time addition overflowed"))
     }
 }
 
@@ -396,9 +392,13 @@ mod tests {
 
     #[test]
     fn sum_of_times() {
-        let total: Time = [Time::from_millis(1), Time::from_millis(2), Time::from_millis(3)]
-            .into_iter()
-            .sum();
+        let total: Time = [
+            Time::from_millis(1),
+            Time::from_millis(2),
+            Time::from_millis(3),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total, Time::from_millis(6));
     }
 

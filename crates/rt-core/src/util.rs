@@ -57,10 +57,7 @@ pub fn hyperbolic_bound_holds<'a, I>(tasks: I) -> bool
 where
     I: IntoIterator<Item = &'a RtTask>,
 {
-    let product: f64 = tasks
-        .into_iter()
-        .map(|t| t.utilization() + 1.0)
-        .product();
+    let product: f64 = tasks.into_iter().map(|t| t.utilization() + 1.0).product();
     product <= 2.0 + 1e-12
 }
 

@@ -1,0 +1,246 @@
+//! Aggregation of scenario outcomes into summary series.
+//!
+//! Two views cover the paper's evaluation and most follow-on questions:
+//!
+//! * [`aggregate`] — per `(cores, allocator, utilization)` group: acceptance
+//!   ratio over the Eq. (1)-feasible task sets, and mean / p50 / p99 of the
+//!   cumulative tightness over the scheduled ones;
+//! * [`paired_comparison`] — joins two allocators' outcomes on the shared
+//!   problem instance (same seed-stream address) and reports the tightness
+//!   gap over the task sets **both** schemes scheduled, which is exactly the
+//!   Figure 3 metric.
+
+use std::collections::HashMap;
+
+use hydra_core::metrics::{mean, percentile};
+
+use crate::scenario::ScenarioOutcome;
+use crate::spec::AllocatorKind;
+
+/// Summary statistics of one `(cores, allocator, utilization)` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateRow {
+    /// Number of cores.
+    pub cores: usize,
+    /// Allocation scheme.
+    pub allocator: AllocatorKind,
+    /// Utilization grid value (`None` for fixed workloads).
+    pub utilization: Option<f64>,
+    /// Scenarios in the group.
+    pub scenarios: usize,
+    /// Scenarios whose task set passed the Eq. (1) filter.
+    pub feasible: usize,
+    /// Scenarios the scheme scheduled.
+    pub scheduled: usize,
+    /// `scheduled / feasible` (`0` when nothing was feasible).
+    pub acceptance_ratio: f64,
+    /// Mean cumulative tightness over the scheduled scenarios.
+    pub mean_tightness: f64,
+    /// Median cumulative tightness over the scheduled scenarios.
+    pub p50_tightness: f64,
+    /// 99th-percentile cumulative tightness over the scheduled scenarios.
+    pub p99_tightness: f64,
+}
+
+fn group_key(outcome: &ScenarioOutcome) -> (usize, AllocatorKind, u64) {
+    (
+        outcome.scenario.cores,
+        outcome.scenario.allocator,
+        outcome.scenario.utilization.map_or(0, f64::to_bits),
+    )
+}
+
+/// Groups outcomes by `(cores, allocator, utilization)` and summarises each
+/// group. Rows are sorted by that key, so output is deterministic. Single
+/// pass over the outcomes (a paper-scale sweep has tens of thousands).
+#[must_use]
+pub fn aggregate(outcomes: &[ScenarioOutcome]) -> Vec<AggregateRow> {
+    let mut groups: HashMap<(usize, AllocatorKind, u64), Vec<&ScenarioOutcome>> = HashMap::new();
+    for outcome in outcomes {
+        groups.entry(group_key(outcome)).or_default().push(outcome);
+    }
+    let mut keys: Vec<(usize, AllocatorKind, u64)> = groups.keys().copied().collect();
+    keys.sort_unstable();
+
+    keys.into_iter()
+        .map(|key| {
+            let group = &groups[&key];
+            let feasible = group.iter().filter(|o| o.feasible).count();
+            let scheduled = group.iter().filter(|o| o.schedulable).count();
+            let tightness: Vec<f64> = group
+                .iter()
+                .filter_map(|o| o.cumulative_tightness)
+                .collect();
+            AggregateRow {
+                cores: key.0,
+                allocator: key.1,
+                utilization: group[0].scenario.utilization,
+                scenarios: group.len(),
+                feasible,
+                scheduled,
+                acceptance_ratio: if feasible > 0 {
+                    scheduled as f64 / feasible as f64
+                } else {
+                    0.0
+                },
+                mean_tightness: mean(&tightness),
+                p50_tightness: percentile(&tightness, 50.0),
+                p99_tightness: percentile(&tightness, 99.0),
+            }
+        })
+        .collect()
+}
+
+/// One point of a paired two-scheme comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedPoint {
+    /// Number of cores.
+    pub cores: usize,
+    /// Utilization grid value (`None` for fixed workloads).
+    pub utilization: Option<f64>,
+    /// Task sets both schemes scheduled (the gap is averaged over these).
+    pub compared: usize,
+    /// Mean cumulative tightness of the first scheme over the compared sets.
+    pub a_tightness: f64,
+    /// Mean cumulative tightness of the second scheme over the compared sets.
+    pub b_tightness: f64,
+    /// Mean relative gap `(η_b − η_a)/η_b × 100` over the compared sets.
+    pub mean_gap_percent: f64,
+    /// Largest observed per-task-set gap in percent.
+    pub max_gap_percent: f64,
+}
+
+/// Joins the outcomes of allocators `a` and `b` on their shared problem
+/// instances and reports, per `(cores, utilization)` point, the relative
+/// tightness gap of `a` below `b` over the task sets both scheduled.
+///
+/// With `a = Hydra` and `b = Optimal` this is the Figure 3 series.
+#[must_use]
+pub fn paired_comparison(
+    outcomes: &[ScenarioOutcome],
+    a: AllocatorKind,
+    b: AllocatorKind,
+) -> Vec<PairedPoint> {
+    // Index scheme b's outcomes by the shared problem address for O(1)
+    // joining, then accumulate per (cores, util bits) point in one pass over
+    // scheme a's outcomes. Keys are sorted at the end, so the series stays
+    // deterministic.
+    let b_by_stream: HashMap<(usize, u64, u64), &ScenarioOutcome> = outcomes
+        .iter()
+        .filter(|o| o.scenario.allocator == b)
+        .map(|o| {
+            (
+                (
+                    o.scenario.cores,
+                    o.scenario.utilization.map_or(0, f64::to_bits),
+                    o.scenario.problem_stream,
+                ),
+                o,
+            )
+        })
+        .collect();
+
+    #[derive(Default)]
+    struct PointAcc {
+        a_values: Vec<f64>,
+        b_values: Vec<f64>,
+        gaps: Vec<f64>,
+    }
+    let mut points: HashMap<(usize, u64), PointAcc> = HashMap::new();
+    for oa in outcomes.iter().filter(|o| o.scenario.allocator == a) {
+        let cores = oa.scenario.cores;
+        let util_bits = oa.scenario.utilization.map_or(0, f64::to_bits);
+        let acc = points.entry((cores, util_bits)).or_default();
+        let Some(ob) = b_by_stream.get(&(cores, util_bits, oa.scenario.problem_stream)) else {
+            continue;
+        };
+        let (Some(eta_a), Some(eta_b)) = (oa.cumulative_tightness, ob.cumulative_tightness) else {
+            continue;
+        };
+        acc.a_values.push(eta_a);
+        acc.b_values.push(eta_b);
+        acc.gaps.push(if eta_b > 0.0 {
+            (eta_b - eta_a) / eta_b * 100.0
+        } else {
+            0.0
+        });
+    }
+
+    let mut point_keys: Vec<(usize, u64)> = points.keys().copied().collect();
+    point_keys.sort_unstable();
+    point_keys
+        .into_iter()
+        .map(|(cores, util_bits)| {
+            let acc = &points[&(cores, util_bits)];
+            PairedPoint {
+                cores,
+                utilization: (util_bits != 0).then(|| f64::from_bits(util_bits)),
+                compared: acc.gaps.len(),
+                a_tightness: mean(&acc.a_values),
+                b_tightness: mean(&acc.b_values),
+                mean_gap_percent: mean(&acc.gaps),
+                max_gap_percent: acc.gaps.iter().copied().fold(0.0, f64::max),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::spec::{ScenarioSpec, UtilizationGrid};
+
+    fn sweep() -> Vec<ScenarioOutcome> {
+        let mut spec = ScenarioSpec::synthetic("agg-test");
+        spec.cores = vec![2];
+        spec.utilizations = UtilizationGrid::Fractions(vec![0.15, 0.4]);
+        spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+        spec.trials = 4;
+        Executor::serial().run(&spec).outcomes
+    }
+
+    #[test]
+    fn aggregate_groups_by_cores_allocator_and_utilization() {
+        let rows = aggregate(&sweep());
+        // 1 core count × 2 allocators × 2 utilization points.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.scenarios, 4);
+            assert!(row.feasible <= row.scenarios);
+            assert!(row.scheduled <= row.feasible);
+            assert!((0.0..=1.0).contains(&row.acceptance_ratio));
+            if row.scheduled > 0 {
+                assert!(row.mean_tightness > 0.0);
+                assert!(row.p99_tightness + 1e-12 >= row.p50_tightness);
+            }
+        }
+        // Deterministic ordering: sorted by (cores, allocator, util).
+        let mut sorted = rows.clone();
+        sorted.sort_by_key(|r| (r.cores, r.allocator, r.utilization.map_or(0, f64::to_bits)));
+        assert_eq!(rows, sorted);
+    }
+
+    #[test]
+    fn paired_comparison_joins_on_the_shared_problem() {
+        let outcomes = sweep();
+        let points = paired_comparison(&outcomes, AllocatorKind::Hydra, AllocatorKind::SingleCore);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.compared <= 4);
+            if p.compared > 0 {
+                // HYDRA never does worse than SingleCore on tightness, so the
+                // gap of (hydra below singlecore) is never positive by much.
+                assert!(p.a_tightness + 1e-9 >= p.b_tightness);
+                assert!(p.mean_gap_percent <= 1e-9);
+                assert!(p.max_gap_percent <= 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_outcomes_produce_empty_series() {
+        assert!(aggregate(&[]).is_empty());
+        assert!(paired_comparison(&[], AllocatorKind::Hydra, AllocatorKind::Optimal).is_empty());
+    }
+}

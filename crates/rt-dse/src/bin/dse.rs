@@ -1,0 +1,273 @@
+//! `dse` — run design-space sweeps from the command line.
+//!
+//! ```text
+//! dse sweep --cores 2,4,8 --util-steps 13 --allocators hydra,singlecore,optimal \
+//!           --trials 5 --seed 2018 --threads 0 --out results/dse
+//! dse sweep --workload uav --eval detection --horizon 120 --attacks 200
+//! dse list-allocators
+//! ```
+//!
+//! `sweep` expands the requested grid, evaluates it on the parallel
+//! executor, prints the aggregate summary, and writes deterministic
+//! JSONL / CSV / summary files under `--out`.
+
+use std::process::ExitCode;
+
+use rt_dse::prelude::*;
+
+const USAGE: &str = "\
+dse — design-space exploration for security-task allocation
+
+USAGE:
+    dse sweep [OPTIONS]      run a sweep
+    dse list-allocators      print the available allocation schemes
+    dse help                 show this message
+
+SWEEP OPTIONS:
+    --cores A,B,...       core counts to explore            [default: 2,4,8]
+    --util-steps N        N-point utilization grid per M    [default: 13]
+    --utils F1,F2,...     explicit per-core utilization fractions (overrides --util-steps)
+    --allocators L1,L2    schemes: hydra, singlecore, nphydra, precedence, optimal
+                          (optimal is exhaustive — pair it with --cores 2 and a
+                          small --sec-tasks range, e.g. 2,6, as the paper does)
+                                                            [default: hydra,singlecore,nphydra]
+    --trials N            task sets per grid point          [default: 5]
+    --seed S              base seed                         [default: 2018]
+    --threads N           worker threads (0 = all cores)    [default: 0]
+    --serial              force single-threaded execution
+    --sample N            sample at most N points from the full grid
+    --sec-tasks LO,HI     override the security task-count range
+    --workload KIND       synthetic | uav                   [default: synthetic]
+    --eval KIND           allocate | detection              [default: allocate]
+    --horizon SECS        detection: simulated window       [default: 120]
+    --attacks N           detection: injected attacks       [default: 100]
+    --name NAME           output file stem                  [default: sweep]
+    --out DIR             output directory                  [default: results/dse]
+    --quiet               suppress the per-group summary table
+";
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value_of(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.value_of(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {key}: {raw}")),
+        }
+    }
+
+    fn parsed_list<T: std::str::FromStr>(&self, key: &str) -> Result<Option<Vec<T>>, String> {
+        match self.value_of(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|p| p.trim().parse().map_err(|_| format!("invalid {key}: {p}")))
+                .collect::<Result<Vec<T>, String>>()
+                .map(Some),
+        }
+    }
+}
+
+fn build_spec(args: &Args) -> Result<ScenarioSpec, String> {
+    let workload = match args.value_of("--workload").unwrap_or("synthetic") {
+        "synthetic" => {
+            let mut overrides = SyntheticOverrides::default();
+            if let Some(range) = args.parsed_list::<usize>("--sec-tasks")? {
+                let [lo, hi] = range[..] else {
+                    return Err("--sec-tasks expects LO,HI".to_owned());
+                };
+                if lo == 0 || lo > hi {
+                    return Err(format!("--sec-tasks range [{lo}, {hi}] is empty or zero"));
+                }
+                overrides.security_tasks = Some((lo, hi));
+            }
+            Workload::Synthetic(overrides)
+        }
+        "uav" => Workload::CaseStudyUav,
+        other => return Err(format!("unknown workload: {other}")),
+    };
+
+    let evaluation = match args.value_of("--eval").unwrap_or("allocate") {
+        "allocate" => Evaluation::Allocate,
+        "detection" => Evaluation::Detection {
+            horizon: rt_dse::Time::from_secs(args.parsed("--horizon")?.unwrap_or(120)),
+            attacks: args.parsed("--attacks")?.unwrap_or(100),
+        },
+        other => return Err(format!("unknown evaluation: {other}")),
+    };
+
+    let utilizations = if matches!(workload, Workload::CaseStudyUav) {
+        UtilizationGrid::NotApplicable
+    } else if let Some(fractions) = args.parsed_list::<f64>("--utils")? {
+        if fractions.iter().any(|f| !(*f > 0.0 && *f <= 1.0)) {
+            return Err("--utils fractions must lie in (0, 1]".to_owned());
+        }
+        UtilizationGrid::Fractions(fractions)
+    } else {
+        UtilizationGrid::NormalizedSteps(args.parsed("--util-steps")?.unwrap_or(13))
+    };
+
+    let allocators = match args.value_of("--allocators") {
+        None => vec![
+            AllocatorKind::Hydra,
+            AllocatorKind::SingleCore,
+            AllocatorKind::NpHydra,
+        ],
+        Some(raw) => raw
+            .split(',')
+            .map(|label| {
+                AllocatorKind::parse(label).ok_or_else(|| format!("unknown allocator: {label}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    if allocators.is_empty() {
+        return Err("at least one allocator is required".to_owned());
+    }
+
+    let expansion = match args.parsed("--sample")? {
+        Some(n) => Expansion::Sampled(n),
+        None => Expansion::Cartesian,
+    };
+
+    let cores: Vec<usize> = args
+        .parsed_list("--cores")?
+        .unwrap_or_else(|| vec![2, 4, 8]);
+    if cores.is_empty() || cores.contains(&0) {
+        return Err("--cores requires one or more core counts >= 1".to_owned());
+    }
+
+    Ok(ScenarioSpec {
+        name: args.value_of("--name").unwrap_or("sweep").to_owned(),
+        workload,
+        evaluation,
+        cores,
+        utilizations,
+        allocators,
+        trials: args.parsed("--trials")?.unwrap_or(5),
+        base_seed: args.parsed("--seed")?.unwrap_or(2018),
+        expansion,
+    })
+}
+
+fn print_summary(rows: &[rt_dse::AggregateRow]) {
+    println!(
+        "{:>5}  {:>10}  {:>8}  {:>9}  {:>9}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "cores",
+        "allocator",
+        "util",
+        "feasible",
+        "scheduled",
+        "acceptance",
+        "mean_eta",
+        "p50_eta",
+        "p99_eta"
+    );
+    for row in rows {
+        println!(
+            "{:>5}  {:>10}  {:>8}  {:>9}  {:>9}  {:>10.3}  {:>9.3}  {:>9.3}  {:>9.3}",
+            row.cores,
+            row.allocator.label(),
+            row.utilization
+                .map_or_else(|| "-".to_owned(), |u| format!("{u:.3}")),
+            row.feasible,
+            row.scheduled,
+            row.acceptance_ratio,
+            row.mean_tightness,
+            row.p50_tightness,
+            row.p99_tightness,
+        );
+    }
+}
+
+fn run_sweep(args: &Args) -> Result<(), String> {
+    let spec = build_spec(args)?;
+    let executor = if args.flag("--serial") {
+        Executor::serial()
+    } else {
+        Executor::with_threads(args.parsed("--threads")?.unwrap_or(0))
+    };
+
+    // The executor expands the grid itself; the evaluated count is reported
+    // afterwards rather than paying a second expansion just to preview it.
+    eprintln!(
+        "sweeping \"{}\": {} cores × {} allocators, {} trials/point",
+        spec.name,
+        spec.cores.len(),
+        spec.allocators.len(),
+        spec.trials
+    );
+
+    let result = executor.run(&spec);
+    let rows = aggregate(&result.outcomes);
+    if !args.flag("--quiet") {
+        print_summary(&rows);
+    }
+
+    let out_dir = args.value_of("--out").unwrap_or("results/dse");
+    let files = write_outputs(out_dir, &spec.name, &result.outcomes, &rows)
+        .map_err(|e| format!("could not write outputs to {out_dir}: {e}"))?;
+
+    eprintln!(
+        "evaluated {} scenarios on {} threads in {:.2?} ({:.0} scenarios/s)",
+        result.outcomes.len(),
+        result.threads,
+        result.elapsed,
+        result.scenarios_per_sec()
+    );
+    let memo = result.memo;
+    eprintln!(
+        "memo: {} problems generated, {} reused; {} feasibility checks, {} reused",
+        memo.problem_misses, memo.problem_hits, memo.feasibility_misses, memo.feasibility_hits
+    );
+    eprintln!(
+        "wrote {}, {}, {}",
+        files.jsonl.display(),
+        files.csv.display(),
+        files.summary.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = argv.first().map(String::as_str).unwrap_or("help");
+    let args = Args(argv.get(1..).unwrap_or_default().to_vec());
+
+    let result = match command {
+        "sweep" => run_sweep(&args),
+        "list-allocators" => {
+            for kind in AllocatorKind::ALL {
+                println!("{}", kind.label());
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n\n{USAGE}")),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Scenario evaluation and the parallel sweep executor.
+//!
+//! The executor runs the expanded grid on a pool of scoped worker threads
+//! pulling scenario indices from a shared atomic cursor (self-balancing: a
+//! worker that lands on a cheap scenario immediately steals the next index,
+//! so stragglers never idle the pool). Every scenario derives its inputs
+//! from its own `(base_seed, stream)` address, which makes results
+//! independent of thread count, scheduling order and the memoization layer —
+//! the property the determinism tests pin down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hydra_core::metrics::{mean, percentile};
+use hydra_core::AllocationProblem;
+use rt_core::dbf::necessary_condition_default_horizon;
+use rt_core::Time;
+use rt_sim::attack::AttackScenario;
+use rt_sim::detection::detection_latencies_ms;
+use rt_sim::engine::{simulate, SimConfig};
+use rt_sim::workload::simulation_tasks;
+use taskgen::{derive_seed, generate_problem_seeded};
+
+use crate::grid::ScenarioGrid;
+use crate::memo::{hash_taskset, MemoCache, MemoStats, ProblemKey};
+use crate::scenario::{DetectionStats, Scenario, ScenarioOutcome};
+use crate::spec::{Evaluation, ScenarioSpec, Workload};
+
+/// Salt separating the attack-injection seed stream from the task-set
+/// generation stream at the same scenario address.
+const ATTACK_SALT: u64 = 0xa77a_c852_11fe_c7ed;
+
+/// Fingerprint marking case-study problem keys (no generator config).
+const CASE_STUDY_FINGERPRINT: u64 = u64::MAX;
+
+/// The completed execution of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Sweep name (copied from the spec).
+    pub name: String,
+    /// One outcome per scenario, in grid order — deterministic for a fixed
+    /// spec regardless of thread count.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Memoization hit/miss counters.
+    pub memo: MemoStats,
+    /// Wall-clock execution time (excluded from serialized outputs so they
+    /// stay byte-deterministic).
+    pub elapsed: Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+impl SweepResult {
+    /// Evaluated scenarios per wall-clock second.
+    #[must_use]
+    pub fn scenarios_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Executes [`ScenarioSpec`]s over a worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// A single-threaded executor (the reference for determinism tests).
+    #[must_use]
+    pub fn serial() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Executor { threads: 0 }
+    }
+
+    /// An executor with an explicit worker count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Executor { threads }
+    }
+
+    fn resolve_threads(self, work_items: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let requested = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        requested.clamp(1, work_items.max(1))
+    }
+
+    /// Runs the sweep described by `spec` and returns outcomes in grid order.
+    #[must_use]
+    pub fn run(&self, spec: &ScenarioSpec) -> SweepResult {
+        let scenarios = ScenarioGrid::expand(spec).into_scenarios();
+        let threads = self.resolve_threads(scenarios.len());
+        let memo = MemoCache::new();
+        let started = Instant::now();
+
+        let mut outcomes: Vec<ScenarioOutcome> = if threads <= 1 {
+            scenarios.iter().map(|s| evaluate(spec, s, &memo)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<ScenarioOutcome>> =
+                Mutex::new(Vec::with_capacity(scenarios.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(scenario) = scenarios.get(i) else {
+                                break;
+                            };
+                            local.push(evaluate(spec, scenario, &memo));
+                        }
+                        collected
+                            .lock()
+                            .expect("result collector poisoned")
+                            .append(&mut local);
+                    });
+                }
+            });
+            collected.into_inner().expect("result collector poisoned")
+        };
+        outcomes.sort_by_key(|o| o.scenario.index);
+
+        SweepResult {
+            name: spec.name.clone(),
+            outcomes,
+            memo: memo.stats(),
+            elapsed: started.elapsed(),
+            threads,
+        }
+    }
+}
+
+/// Evaluates a single scenario point.
+fn evaluate(spec: &ScenarioSpec, scenario: &Scenario, memo: &MemoCache) -> ScenarioOutcome {
+    match &spec.workload {
+        Workload::Synthetic(overrides) => {
+            let utilization = scenario
+                .utilization
+                .expect("synthetic scenarios carry a utilization");
+            let key = ProblemKey {
+                cores: scenario.cores,
+                utilization_bits: utilization.to_bits(),
+                base_seed: spec.base_seed,
+                stream: scenario.problem_stream,
+                config_fingerprint: overrides.fingerprint(),
+            };
+            let problem = memo.problem(key, || {
+                let config = overrides.config_for(scenario.cores);
+                generate_problem_seeded(
+                    &config,
+                    utilization,
+                    spec.base_seed,
+                    scenario.problem_stream,
+                )
+            });
+            let feasible =
+                memo.feasibility(hash_taskset(&problem.rt_tasks), scenario.cores, || {
+                    necessary_condition_default_horizon(&problem.rt_tasks, scenario.cores)
+                });
+            if !feasible {
+                return ScenarioOutcome::infeasible(
+                    *scenario,
+                    problem.rt_tasks.len(),
+                    problem.security_tasks.len(),
+                    problem.total_utilization(),
+                );
+            }
+            allocate_and_measure(spec, scenario, &problem)
+        }
+        Workload::CaseStudyUav => {
+            let key = ProblemKey {
+                cores: scenario.cores,
+                utilization_bits: 0,
+                base_seed: spec.base_seed,
+                stream: scenario.problem_stream,
+                config_fingerprint: CASE_STUDY_FINGERPRINT,
+            };
+            let problem = memo.problem(key, || {
+                AllocationProblem::new(
+                    hydra_core::casestudy::uav_rt_tasks(),
+                    hydra_core::catalog::table1_tasks(),
+                    scenario.cores,
+                )
+                .with_partition_config(Workload::uav_partition_config())
+            });
+            allocate_and_measure(spec, scenario, &problem)
+        }
+    }
+}
+
+fn allocate_and_measure(
+    spec: &ScenarioSpec,
+    scenario: &Scenario,
+    problem: &AllocationProblem,
+) -> ScenarioOutcome {
+    let allocator = scenario
+        .allocator
+        .build(problem.security_tasks.len(), &spec.workload);
+    let base = ScenarioOutcome {
+        scenario: *scenario,
+        feasible: true,
+        schedulable: false,
+        error: None,
+        n_rt: problem.rt_tasks.len(),
+        n_sec: problem.security_tasks.len(),
+        total_utilization: problem.total_utilization(),
+        cumulative_tightness: None,
+        mean_tightness: None,
+        detection: None,
+    };
+    match allocator.allocate(problem) {
+        Ok(allocation) => {
+            let detection = match spec.evaluation {
+                Evaluation::Allocate => None,
+                Evaluation::Detection { horizon, attacks } => Some(measure_detection(
+                    spec,
+                    scenario,
+                    problem,
+                    &allocation,
+                    horizon,
+                    attacks,
+                )),
+            };
+            ScenarioOutcome {
+                schedulable: true,
+                cumulative_tightness: Some(
+                    allocation.cumulative_tightness(&problem.security_tasks),
+                ),
+                mean_tightness: Some(allocation.mean_tightness()),
+                detection,
+                ..base
+            }
+        }
+        Err(error) => ScenarioOutcome {
+            error: Some(error.to_string()),
+            ..base
+        },
+    }
+}
+
+fn measure_detection(
+    spec: &ScenarioSpec,
+    scenario: &Scenario,
+    problem: &AllocationProblem,
+    allocation: &hydra_core::Allocation,
+    horizon: Time,
+    attacks: usize,
+) -> DetectionStats {
+    let tasks = simulation_tasks(problem, allocation);
+    let trace = simulate(&tasks, &SimConfig::new(horizon));
+    // Keep injections away from the tail so slow checks can still complete;
+    // the seed depends on the problem address but NOT the allocator, so every
+    // scheme faces the identical attack times (paired comparison).
+    let margin = Time::from_secs(60).min(horizon / 2);
+    let attack_seed = derive_seed(spec.base_seed ^ ATTACK_SALT, scenario.problem_stream);
+    let targets: Vec<usize> = (0..problem.security_tasks.len()).collect();
+    let injected = AttackScenario::new(horizon, margin, attack_seed).generate(attacks, &targets);
+    let mut latencies = detection_latencies_ms(&tasks, &trace, &injected);
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    DetectionStats {
+        injected: injected.len(),
+        detected: latencies.len(),
+        mean_ms: mean(&latencies),
+        median_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        latencies_ms: latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AllocatorKind, ScenarioSpec, UtilizationGrid};
+
+    fn tiny_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::synthetic("tiny");
+        spec.cores = vec![2];
+        spec.utilizations = UtilizationGrid::Fractions(vec![0.2, 0.5]);
+        spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+        spec.trials = 3;
+        spec
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let spec = tiny_spec();
+        let serial = Executor::serial().run(&spec);
+        let parallel = Executor::with_threads(4).run(&spec);
+        assert_eq!(serial.outcomes, parallel.outcomes);
+        assert_eq!(serial.outcomes.len(), 12);
+    }
+
+    #[test]
+    fn allocator_axis_shares_problem_instances() {
+        let spec = tiny_spec();
+        let result = Executor::serial().run(&spec);
+        // Problems are generated once per (cores, util, trial) point and
+        // reused across both allocators.
+        assert_eq!(result.memo.problem_misses, 6);
+        assert_eq!(result.memo.problem_hits, 6);
+        // Paired scenarios report identical problem shapes.
+        for pair in result.outcomes.chunks(2) {
+            assert_eq!(pair[0].n_rt, pair[1].n_rt);
+            assert_eq!(pair[0].n_sec, pair[1].n_sec);
+            assert_eq!(pair[0].total_utilization, pair[1].total_utilization);
+        }
+    }
+
+    #[test]
+    fn low_utilization_synthetic_scenarios_schedule() {
+        let mut spec = tiny_spec();
+        spec.utilizations = UtilizationGrid::Fractions(vec![0.1]);
+        let result = Executor::serial().run(&spec);
+        for outcome in &result.outcomes {
+            assert!(outcome.feasible);
+            assert!(
+                outcome.schedulable,
+                "{:?} failed: {:?}",
+                outcome.scenario.allocator, outcome.error
+            );
+            let eta = outcome.cumulative_tightness.unwrap();
+            assert!(eta > 0.0);
+        }
+    }
+
+    #[test]
+    fn detection_scenarios_measure_latencies() {
+        let mut spec = ScenarioSpec::uav_detection("uav", 30, 25);
+        spec.cores = vec![2];
+        let result = Executor::with_threads(2).run(&spec);
+        assert_eq!(result.outcomes.len(), 2);
+        for outcome in &result.outcomes {
+            assert!(outcome.schedulable);
+            let d = outcome.detection.as_ref().unwrap();
+            assert_eq!(d.injected, 25);
+            assert!(d.detected > 0);
+            assert!(d.max_ms >= d.p95_ms && d.p95_ms >= d.median_ms);
+            assert!(d.latencies_ms.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn throughput_is_reported() {
+        let mut spec = tiny_spec();
+        spec.trials = 1;
+        let result = Executor::serial().run(&spec);
+        assert!(result.scenarios_per_sec() > 0.0);
+        assert_eq!(result.threads, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! # rt-dse — a parallel design-space exploration engine
+//!
+//! The paper this workspace reproduces is, in essence, one large
+//! design-space exploration: sweep core counts, total utilizations and
+//! security-task workloads, compare allocation schemes, aggregate. This
+//! crate turns that pattern into declarative data plus a parallel engine:
+//!
+//! * [`ScenarioSpec`](spec::ScenarioSpec) — the axes of a sweep (cores,
+//!   utilization grid, allocators, trials, seed) as a value,
+//! * [`ScenarioGrid`](grid::ScenarioGrid) — cartesian or sampled expansion
+//!   into concrete [`Scenario`](scenario::Scenario) points with
+//!   deterministic per-point seed addresses,
+//! * [`Executor`](exec::Executor) — a self-balancing worker pool (scoped
+//!   threads pulling from a shared cursor) whose results are independent of
+//!   thread count and evaluation order,
+//! * [`MemoCache`](memo::MemoCache) — cross-scenario caching of generated
+//!   problems and Eq. (1) feasibility verdicts keyed by
+//!   `(task-set hash, cores)`,
+//! * [`aggregate`](agg::aggregate) / [`paired_comparison`](agg::paired_comparison)
+//!   — acceptance-ratio and tightness summaries (mean / p50 / p99), plus the
+//!   paired HYDRA-vs-Optimal gap of Figure 3,
+//! * [`sink`] — byte-deterministic JSONL / CSV / summary renderings.
+//!
+//! The `dse` binary exposes all of it on the command line; the
+//! `hydra-bench` figure drivers are thin [`ScenarioSpec`](spec::ScenarioSpec)
+//! definitions executed on this engine.
+//!
+//! # Example
+//!
+//! ```
+//! use rt_dse::prelude::*;
+//!
+//! let mut spec = ScenarioSpec::synthetic("demo");
+//! spec.cores = vec![2];
+//! spec.utilizations = UtilizationGrid::Fractions(vec![0.2, 0.6]);
+//! spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+//! spec.trials = 3;
+//!
+//! let result = Executor::parallel().run(&spec);
+//! assert_eq!(result.outcomes.len(), 12);
+//! let summary = aggregate(&result.outcomes);
+//! assert_eq!(summary.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agg;
+pub mod exec;
+pub mod grid;
+pub mod memo;
+pub mod scenario;
+pub mod sink;
+pub mod spec;
+
+pub use agg::{aggregate, paired_comparison, AggregateRow, PairedPoint};
+pub use exec::{Executor, SweepResult};
+pub use grid::ScenarioGrid;
+pub use memo::{hash_taskset, MemoCache, MemoStats, ProblemKey};
+pub use rt_core::Time;
+pub use scenario::{DetectionStats, Scenario, ScenarioOutcome};
+pub use spec::{
+    AllocatorKind, Evaluation, Expansion, ScenarioSpec, SyntheticOverrides, UtilizationGrid,
+    Workload,
+};
+
+/// Convenience re-exports for sweep definitions.
+pub mod prelude {
+    pub use crate::agg::{aggregate, paired_comparison};
+    pub use crate::exec::{Executor, SweepResult};
+    pub use crate::grid::ScenarioGrid;
+    pub use crate::scenario::{Scenario, ScenarioOutcome};
+    pub use crate::sink::{to_csv, to_jsonl, write_outputs};
+    pub use crate::spec::{
+        AllocatorKind, Evaluation, Expansion, ScenarioSpec, SyntheticOverrides, UtilizationGrid,
+        Workload,
+    };
+}

@@ -1,0 +1,242 @@
+//! Cross-scenario memoization.
+//!
+//! Two scenario points frequently share expensive intermediate work:
+//!
+//! * scenarios differing only in the **allocator** axis share the identical
+//!   generated problem (same seed-stream address), so task-set generation
+//!   runs once per address, not once per scheme;
+//! * the Eq. (1) **necessary-condition** filter depends only on the
+//!   real-time task set and the core count, so its verdict is cached keyed
+//!   by `(task-set hash, cores)`.
+//!
+//! The cache is sharded to keep lock contention negligible under the
+//! work-stealing executor; every entry is immutable once inserted (`Arc`ed
+//! problems), so readers never block writers of *other* keys for long.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hydra_core::AllocationProblem;
+use rt_core::TaskSet;
+
+const SHARDS: usize = 32;
+
+/// Identifies one generated problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProblemKey {
+    /// Core count of the platform.
+    pub cores: usize,
+    /// Requested total utilization (bit pattern, so the key is `Eq + Hash`);
+    /// zero for fixed workloads.
+    pub utilization_bits: u64,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// The scenario's problem-stream address.
+    pub stream: u64,
+    /// Fingerprint of generator overrides (different overrides generate
+    /// different problems from the same address).
+    pub config_fingerprint: u64,
+}
+
+/// FNV-1a over the timing parameters of a real-time task set: a stable
+/// structural fingerprint for schedulability caching.
+#[must_use]
+pub fn hash_taskset(set: &TaskSet) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    feed(set.len() as u64);
+    for task in set.tasks() {
+        feed(task.wcet().as_ticks());
+        feed(task.period().as_ticks());
+        feed(task.deadline().as_ticks());
+    }
+    h
+}
+
+/// Hit/miss counters of a finished sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Problem-cache hits (a regeneration elided).
+    pub problem_hits: u64,
+    /// Problem-cache misses (the generator actually ran).
+    pub problem_misses: u64,
+    /// Feasibility-cache hits (an Eq. (1) evaluation elided).
+    pub feasibility_hits: u64,
+    /// Feasibility-cache misses.
+    pub feasibility_misses: u64,
+}
+
+/// The shared memoization cache of one sweep execution.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    problems: Vec<Mutex<HashMap<ProblemKey, Arc<AllocationProblem>>>>,
+    feasibility: Vec<Mutex<HashMap<(u64, usize), bool>>>,
+    problem_hits: AtomicU64,
+    problem_misses: AtomicU64,
+    feasibility_hits: AtomicU64,
+    feasibility_misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoCache {
+            problems: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            feasibility: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            problem_hits: AtomicU64::new(0),
+            problem_misses: AtomicU64::new(0),
+            feasibility_hits: AtomicU64::new(0),
+            feasibility_misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(hash: u64) -> usize {
+        // High bits: the low bits of sequential streams are too regular.
+        (hash >> 58) as usize % SHARDS
+    }
+
+    /// Returns the problem for `key`, generating it with `generate` on a
+    /// miss. Concurrent callers of the same key may both generate (the
+    /// generator is deterministic, so both produce the identical problem and
+    /// either insert wins); the lock is *not* held during generation.
+    pub fn problem(
+        &self,
+        key: ProblemKey,
+        generate: impl FnOnce() -> AllocationProblem,
+    ) -> Arc<AllocationProblem> {
+        let hash = key.stream ^ key.base_seed.rotate_left(32) ^ (key.cores as u64).rotate_left(48);
+        let shard = &self.problems[Self::shard_of(hash.wrapping_mul(0x9E37_79B9_7F4A_7C15))];
+        if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
+            self.problem_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.problem_misses.fetch_add(1, Ordering::Relaxed);
+        let generated = Arc::new(generate());
+        let mut guard = shard.lock().expect("memo shard poisoned");
+        Arc::clone(guard.entry(key).or_insert(generated))
+    }
+
+    /// Returns the cached Eq. (1) verdict for `(taskset_hash, cores)`,
+    /// computing it with `check` on a miss.
+    pub fn feasibility(
+        &self,
+        taskset_hash: u64,
+        cores: usize,
+        check: impl FnOnce() -> bool,
+    ) -> bool {
+        let shard = &self.feasibility
+            [Self::shard_of(taskset_hash.wrapping_add((cores as u64).rotate_left(40)))];
+        if let Some(&verdict) = shard
+            .lock()
+            .expect("memo shard poisoned")
+            .get(&(taskset_hash, cores))
+        {
+            self.feasibility_hits.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        self.feasibility_misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = check();
+        shard
+            .lock()
+            .expect("memo shard poisoned")
+            .insert((taskset_hash, cores), verdict);
+        verdict
+    }
+
+    /// Snapshot of the hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            problem_hits: self.problem_hits.load(Ordering::Relaxed),
+            problem_misses: self.problem_misses.load(Ordering::Relaxed),
+            feasibility_hits: self.feasibility_hits.load(Ordering::Relaxed),
+            feasibility_misses: self.feasibility_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::{casestudy, catalog};
+
+    fn key(stream: u64) -> ProblemKey {
+        ProblemKey {
+            cores: 2,
+            utilization_bits: 1.5f64.to_bits(),
+            base_seed: 7,
+            stream,
+            config_fingerprint: 0,
+        }
+    }
+
+    fn uav_problem() -> AllocationProblem {
+        AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), 2)
+    }
+
+    #[test]
+    fn problem_generation_runs_once_per_key() {
+        let cache = MemoCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let _ = cache.problem(key(1), || {
+                calls += 1;
+                uav_problem()
+            });
+        }
+        assert_eq!(calls, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.problem_misses, 1);
+        assert_eq!(stats.problem_hits, 2);
+    }
+
+    #[test]
+    fn distinct_keys_generate_distinct_entries() {
+        let cache = MemoCache::new();
+        let a = cache.problem(key(1), uav_problem);
+        let b = cache.problem(key(2), uav_problem);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().problem_misses, 2);
+    }
+
+    #[test]
+    fn feasibility_verdicts_are_cached() {
+        let cache = MemoCache::new();
+        let mut calls = 0;
+        for _ in 0..4 {
+            let verdict = cache.feasibility(99, 2, || {
+                calls += 1;
+                true
+            });
+            assert!(verdict);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().feasibility_hits, 3);
+        // Different cores: a fresh verdict.
+        let _ = cache.feasibility(99, 4, || false);
+        assert_eq!(cache.stats().feasibility_misses, 2);
+    }
+
+    #[test]
+    fn taskset_hash_is_structural() {
+        let a = casestudy::uav_rt_tasks();
+        let b = casestudy::uav_rt_tasks();
+        assert_eq!(hash_taskset(&a), hash_taskset(&b));
+        let mut c = casestudy::uav_rt_tasks();
+        c.push(
+            rt_core::RtTask::implicit_deadline(
+                rt_core::Time::from_millis(1),
+                rt_core::Time::from_millis(100),
+            )
+            .unwrap(),
+        );
+        assert_ne!(hash_taskset(&a), hash_taskset(&c));
+    }
+}

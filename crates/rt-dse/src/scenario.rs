@@ -1,0 +1,123 @@
+//! Concrete scenario points and their evaluation results.
+
+use crate::spec::AllocatorKind;
+
+/// One fully-specified point of the design space: what to generate, which
+/// scheme to run, and the deterministic seed address to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Position in the expanded grid; results are reported in this order, so
+    /// output is independent of evaluation order and thread count.
+    pub index: usize,
+    /// Number of cores.
+    pub cores: usize,
+    /// Total system utilization of the generated task set (`None` for fixed
+    /// workloads such as the UAV case study).
+    pub utilization: Option<f64>,
+    /// The allocation scheme under test.
+    pub allocator: AllocatorKind,
+    /// Trial number within the `(cores, utilization)` point.
+    pub trial: usize,
+    /// The problem's seed-stream address. Scenarios that differ only in
+    /// `allocator` share this address — and therefore the identical problem
+    /// instance — which is what makes cross-scheme comparisons paired and
+    /// lets the memoization layer elide regeneration.
+    pub problem_stream: u64,
+}
+
+/// Detection-latency statistics from a [`crate::spec::Evaluation::Detection`]
+/// scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionStats {
+    /// Number of injected attacks.
+    pub injected: usize,
+    /// Number detected before the horizon.
+    pub detected: usize,
+    /// Mean detection latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median detection latency in milliseconds.
+    pub median_ms: f64,
+    /// 95th-percentile detection latency in milliseconds.
+    pub p95_ms: f64,
+    /// Worst observed detection latency in milliseconds.
+    pub max_ms: f64,
+    /// The raw latency samples (sorted ascending), so downstream reporting
+    /// can rebuild the full empirical CDF.
+    pub latencies_ms: Vec<f64>,
+}
+
+/// The result of evaluating one [`Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The evaluated scenario.
+    pub scenario: Scenario,
+    /// Whether the generated task set passed the Eq. (1) necessary condition
+    /// (fixed workloads are always feasible). Infeasible task sets are not
+    /// offered to the allocator, mirroring the paper's discard rule.
+    pub feasible: bool,
+    /// Whether the scheme scheduled the task set.
+    pub schedulable: bool,
+    /// Rendered allocation error when `schedulable` is false (and the task
+    /// set was feasible).
+    pub error: Option<String>,
+    /// Number of real-time tasks in the problem.
+    pub n_rt: usize,
+    /// Number of security tasks in the problem.
+    pub n_sec: usize,
+    /// Achieved total utilization of the generated problem (WCET rounding
+    /// moves it slightly off the requested grid value).
+    pub total_utilization: f64,
+    /// Cumulative tightness `Σ ω_s · η_s` of the allocation.
+    pub cumulative_tightness: Option<f64>,
+    /// Mean per-task tightness of the allocation.
+    pub mean_tightness: Option<f64>,
+    /// Detection statistics (only for detection scenarios that scheduled).
+    pub detection: Option<DetectionStats>,
+}
+
+impl ScenarioOutcome {
+    /// An outcome for a scenario whose task set failed the Eq. (1) filter.
+    #[must_use]
+    pub fn infeasible(
+        scenario: Scenario,
+        n_rt: usize,
+        n_sec: usize,
+        total_utilization: f64,
+    ) -> Self {
+        ScenarioOutcome {
+            scenario,
+            feasible: false,
+            schedulable: false,
+            error: None,
+            n_rt,
+            n_sec,
+            total_utilization,
+            cumulative_tightness: None,
+            mean_tightness: None,
+            detection: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AllocatorKind;
+
+    #[test]
+    fn infeasible_outcomes_are_marked_unschedulable() {
+        let scenario = Scenario {
+            index: 3,
+            cores: 4,
+            utilization: Some(3.9),
+            allocator: AllocatorKind::Hydra,
+            trial: 0,
+            problem_stream: 17,
+        };
+        let outcome = ScenarioOutcome::infeasible(scenario, 12, 8, 3.91);
+        assert!(!outcome.feasible);
+        assert!(!outcome.schedulable);
+        assert_eq!(outcome.n_rt, 12);
+        assert!(outcome.cumulative_tightness.is_none());
+    }
+}

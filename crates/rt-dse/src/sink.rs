@@ -1,0 +1,285 @@
+//! Structured result sinks: JSONL, CSV and the aggregate summary.
+//!
+//! All renderings are **byte-deterministic** for a fixed spec: outcomes are
+//! serialized in grid order with a fixed field order, floats are formatted
+//! with Rust's shortest-round-trip formatter, and no wall-clock data is ever
+//! included. The determinism property tests diff these bytes across runs and
+//! thread counts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::agg::AggregateRow;
+use crate::scenario::ScenarioOutcome;
+
+/// Escapes a string for embedding in a JSON value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 as a JSON number (shortest round-trip; `null` for
+/// non-finite values, which JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), json_f64)
+}
+
+/// Renders one outcome as a single JSON line with a fixed field order.
+#[must_use]
+pub fn outcome_to_json(outcome: &ScenarioOutcome) -> String {
+    let s = &outcome.scenario;
+    let mut line = String::with_capacity(256);
+    let _ = write!(
+        line,
+        "{{\"index\":{},\"cores\":{},\"utilization\":{},\"allocator\":\"{}\",\"trial\":{},\
+         \"stream\":{},\"feasible\":{},\"schedulable\":{},\"n_rt\":{},\"n_sec\":{},\
+         \"total_utilization\":{},\"cumulative_tightness\":{},\"mean_tightness\":{}",
+        s.index,
+        s.cores,
+        opt_f64(s.utilization),
+        s.allocator.label(),
+        s.trial,
+        s.problem_stream,
+        outcome.feasible,
+        outcome.schedulable,
+        outcome.n_rt,
+        outcome.n_sec,
+        json_f64(outcome.total_utilization),
+        opt_f64(outcome.cumulative_tightness),
+        opt_f64(outcome.mean_tightness),
+    );
+    if let Some(error) = &outcome.error {
+        let _ = write!(line, ",\"error\":\"{}\"", json_escape(error));
+    }
+    if let Some(d) = &outcome.detection {
+        let _ = write!(
+            line,
+            ",\"detection\":{{\"injected\":{},\"detected\":{},\"mean_ms\":{},\
+             \"median_ms\":{},\"p95_ms\":{},\"max_ms\":{}}}",
+            d.injected,
+            d.detected,
+            json_f64(d.mean_ms),
+            json_f64(d.median_ms),
+            json_f64(d.p95_ms),
+            json_f64(d.max_ms),
+        );
+    }
+    line.push('}');
+    line
+}
+
+/// Renders all outcomes as JSONL (one JSON object per line, grid order).
+#[must_use]
+pub fn to_jsonl(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        out.push_str(&outcome_to_json(outcome));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders all outcomes as a flat CSV (header + one row per scenario).
+#[must_use]
+pub fn to_csv(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::from(
+        "index,cores,utilization,allocator,trial,stream,feasible,schedulable,\
+         n_rt,n_sec,total_utilization,cumulative_tightness,mean_tightness,\
+         detected,mean_detection_ms\n",
+    );
+    for outcome in outcomes {
+        let s = &outcome.scenario;
+        let csv_opt = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v}"));
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.index,
+            s.cores,
+            csv_opt(s.utilization),
+            s.allocator.label(),
+            s.trial,
+            s.problem_stream,
+            outcome.feasible,
+            outcome.schedulable,
+            outcome.n_rt,
+            outcome.n_sec,
+            outcome.total_utilization,
+            csv_opt(outcome.cumulative_tightness),
+            csv_opt(outcome.mean_tightness),
+            outcome
+                .detection
+                .as_ref()
+                .map_or(String::new(), |d| d.detected.to_string()),
+            csv_opt(outcome.detection.as_ref().map(|d| d.mean_ms)),
+        );
+    }
+    out
+}
+
+/// Renders the aggregate summary as CSV.
+#[must_use]
+pub fn summary_to_csv(rows: &[AggregateRow]) -> String {
+    let mut out = String::from(
+        "cores,allocator,utilization,scenarios,feasible,scheduled,acceptance_ratio,\
+         mean_tightness,p50_tightness,p99_tightness\n",
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            row.cores,
+            row.allocator.label(),
+            row.utilization.map_or(String::new(), |v| format!("{v}")),
+            row.scenarios,
+            row.feasible,
+            row.scheduled,
+            row.acceptance_ratio,
+            row.mean_tightness,
+            row.p50_tightness,
+            row.p99_tightness,
+        );
+    }
+    out
+}
+
+/// The files one sweep wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrittenFiles {
+    /// Per-scenario JSONL records.
+    pub jsonl: PathBuf,
+    /// Per-scenario flat CSV.
+    pub csv: PathBuf,
+    /// Aggregate summary CSV.
+    pub summary: PathBuf,
+}
+
+/// Writes the three renderings to `dir/{name}.jsonl`, `dir/{name}.csv` and
+/// `dir/{name}_summary.csv`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing a file.
+pub fn write_outputs(
+    dir: impl AsRef<Path>,
+    name: &str,
+    outcomes: &[ScenarioOutcome],
+    rows: &[AggregateRow],
+) -> std::io::Result<WrittenFiles> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let write = |path: &Path, content: &str| -> std::io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(content.as_bytes())
+    };
+    let files = WrittenFiles {
+        jsonl: dir.join(format!("{name}.jsonl")),
+        csv: dir.join(format!("{name}.csv")),
+        summary: dir.join(format!("{name}_summary.csv")),
+    };
+    write(&files.jsonl, &to_jsonl(outcomes))?;
+    write(&files.csv, &to_csv(outcomes))?;
+    write(&files.summary, &summary_to_csv(rows))?;
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::aggregate;
+    use crate::exec::Executor;
+    use crate::spec::{AllocatorKind, ScenarioSpec, UtilizationGrid};
+
+    fn outcomes() -> Vec<ScenarioOutcome> {
+        let mut spec = ScenarioSpec::synthetic("sink-test");
+        spec.cores = vec![2];
+        spec.utilizations = UtilizationGrid::Fractions(vec![0.2]);
+        spec.allocators = vec![AllocatorKind::Hydra];
+        spec.trials = 2;
+        Executor::serial().run(&spec).outcomes
+    }
+
+    #[test]
+    fn jsonl_has_one_wellformed_line_per_outcome() {
+        let outcomes = outcomes();
+        let jsonl = to_jsonl(&outcomes);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), outcomes.len());
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"allocator\":\"hydra\""));
+            assert!(line.contains("\"schedulable\":"));
+            // Balanced braces (no stray quotes breaking the structure).
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_rows_match_header_arity() {
+        let csv = to_csv(&outcomes());
+        let mut lines = csv.lines();
+        let header_fields = lines.next().unwrap().matches(',').count();
+        for line in lines {
+            assert_eq!(line.matches(',').count(), header_fields, "{line}");
+        }
+    }
+
+    #[test]
+    fn summary_csv_renders_aggregates() {
+        let outcomes = outcomes();
+        let rows = aggregate(&outcomes);
+        let csv = summary_to_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.contains("acceptance_ratio"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn outputs_write_to_disk() {
+        let dir = std::env::temp_dir().join("rt_dse_sink_test");
+        let outcomes = outcomes();
+        let rows = aggregate(&outcomes);
+        let files = write_outputs(&dir, "demo", &outcomes, &rows).unwrap();
+        assert!(fs::read_to_string(&files.jsonl).unwrap().contains("hydra"));
+        assert!(fs::read_to_string(&files.csv)
+            .unwrap()
+            .starts_with("index,"));
+        assert!(fs::read_to_string(&files.summary)
+            .unwrap()
+            .starts_with("cores,"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

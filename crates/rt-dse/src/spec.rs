@@ -1,0 +1,342 @@
+//! Declarative description of a design-space sweep.
+//!
+//! A [`ScenarioSpec`] names the *axes* of an exploration — core counts,
+//! utilization grid, allocation schemes, trial counts and the base seed —
+//! and the engine turns it into concrete scenario points, evaluates them in
+//! parallel and aggregates the results. The paper's whole evaluation
+//! (Figures 1–3) is expressible as three such specs.
+
+use hydra_core::allocator::{Allocator, HydraAllocator, OptimalAllocator, SingleCoreAllocator};
+use hydra_core::precedence::{table1_precedence, PrecedenceGraph};
+use hydra_core::{NpHydraAllocator, PrecedenceHydraAllocator};
+use taskgen::SyntheticConfig;
+
+/// The allocation schemes the sweep engine can compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AllocatorKind {
+    /// The paper's contribution: iterative best-fit with period adaptation.
+    Hydra,
+    /// The baseline: one core dedicated to security tasks.
+    SingleCore,
+    /// HYDRA with non-preemptive security-task execution.
+    NpHydra,
+    /// HYDRA honouring a precedence order between security tasks.
+    Precedence,
+    /// The exhaustive optimal allocation (exponential; small instances only).
+    Optimal,
+}
+
+impl AllocatorKind {
+    /// Every scheme, in canonical order.
+    pub const ALL: [AllocatorKind; 5] = [
+        AllocatorKind::Hydra,
+        AllocatorKind::SingleCore,
+        AllocatorKind::NpHydra,
+        AllocatorKind::Precedence,
+        AllocatorKind::Optimal,
+    ];
+
+    /// Stable lower-case label used in output records and CLI flags.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocatorKind::Hydra => "hydra",
+            AllocatorKind::SingleCore => "singlecore",
+            AllocatorKind::NpHydra => "nphydra",
+            AllocatorKind::Precedence => "precedence",
+            AllocatorKind::Optimal => "optimal",
+        }
+    }
+
+    /// Parses a label (as produced by [`AllocatorKind::label`], case
+    /// insensitive; `single_core` and `single-core` are accepted aliases).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "hydra" => Some(AllocatorKind::Hydra),
+            "singlecore" | "single" => Some(AllocatorKind::SingleCore),
+            "nphydra" | "np" => Some(AllocatorKind::NpHydra),
+            "precedence" | "prec" => Some(AllocatorKind::Precedence),
+            "optimal" | "opt" => Some(AllocatorKind::Optimal),
+            _ => None,
+        }
+    }
+
+    /// Builds the allocator for a problem with `security_task_count` tasks.
+    ///
+    /// The precedence scheme receives the Table I precedence graph when the
+    /// workload is the UAV case study (whose security set *is* Table I), and
+    /// an unconstrained graph of the right size otherwise.
+    #[must_use]
+    pub fn build(self, security_task_count: usize, workload: &Workload) -> Box<dyn Allocator> {
+        match self {
+            AllocatorKind::Hydra => Box::new(HydraAllocator::default()),
+            AllocatorKind::SingleCore => Box::new(SingleCoreAllocator::default()),
+            AllocatorKind::NpHydra => Box::new(NpHydraAllocator::new()),
+            AllocatorKind::Precedence => {
+                let graph = match workload {
+                    Workload::CaseStudyUav => table1_precedence(),
+                    Workload::Synthetic(_) => PrecedenceGraph::new(security_task_count),
+                };
+                Box::new(PrecedenceHydraAllocator::new(graph))
+            }
+            AllocatorKind::Optimal => Box::new(OptimalAllocator::default()),
+        }
+    }
+}
+
+/// Overrides applied on top of [`SyntheticConfig::paper_default`] for each
+/// core count in the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyntheticOverrides {
+    /// Overrides the real-time task-count range.
+    pub rt_tasks: Option<(usize, usize)>,
+    /// Overrides the security task-count range (Figure 3 restricts this to
+    /// `[2, 6]` so the exhaustive scheme stays tractable).
+    pub security_tasks: Option<(usize, usize)>,
+}
+
+impl SyntheticOverrides {
+    /// Materialises the synthetic-generator configuration for `cores`.
+    #[must_use]
+    pub fn config_for(self, cores: usize) -> SyntheticConfig {
+        let mut config = SyntheticConfig::paper_default(cores);
+        if let Some(rt) = self.rt_tasks {
+            config.rt_tasks = rt;
+        }
+        if let Some(sec) = self.security_tasks {
+            config.security_tasks = sec;
+        }
+        config
+    }
+
+    /// A stable fingerprint of the overrides, mixed into problem cache keys.
+    #[must_use]
+    pub(crate) fn fingerprint(self) -> u64 {
+        let enc = |r: Option<(usize, usize)>| match r {
+            None => 0u64,
+            Some((a, b)) => 1 | (a as u64) << 1 | (b as u64) << 32,
+        };
+        enc(self.rt_tasks) ^ enc(self.security_tasks).rotate_left(17)
+    }
+}
+
+/// What task sets a sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Synthetic task sets with the Section IV-B parameters (plus overrides),
+    /// one fresh set per `(cores, utilization, trial)` address.
+    Synthetic(SyntheticOverrides),
+    /// The fixed UAV control system with the Table I security tasks,
+    /// real-time tasks spread worst-fit across all cores.
+    CaseStudyUav,
+}
+
+impl Workload {
+    /// The real-time partitioning policy of the UAV case study: worst-fit
+    /// (load balancing) with exact response-time admission, so the real-time
+    /// tasks are spread across all cores as the paper assumes for HYDRA.
+    /// This is the single source of truth — the engine applies it to every
+    /// [`Workload::CaseStudyUav`] problem, and the `hydra-bench` Figure 1
+    /// driver re-exports it.
+    #[must_use]
+    pub fn uav_partition_config() -> rt_partition::PartitionConfig {
+        rt_partition::PartitionConfig::new(
+            rt_partition::Heuristic::WorstFit,
+            rt_partition::AdmissionTest::ResponseTime,
+        )
+    }
+}
+
+/// The utilization axis of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UtilizationGrid {
+    /// The paper's 39-point sweep: `0.025·M, 0.05·M, …, 0.975·M`.
+    PaperSweep,
+    /// An evenly spaced grid of `steps` points over `(0, 0.975·M]`,
+    /// normalised per core count (each value is multiplied by `M`).
+    NormalizedSteps(usize),
+    /// Explicit per-core-normalised fractions (each multiplied by `M`).
+    Fractions(Vec<f64>),
+    /// Explicit absolute total utilizations, used as-is for every core count.
+    Absolute(Vec<f64>),
+    /// No utilization axis (fixed workloads such as the UAV case study).
+    NotApplicable,
+}
+
+impl UtilizationGrid {
+    /// Expands the axis for a platform with `cores` cores. Returns `None`
+    /// entries never — an inapplicable axis expands to a single `None`-like
+    /// sentinel handled by the grid expander.
+    #[must_use]
+    pub fn points(&self, cores: usize) -> Vec<f64> {
+        match self {
+            UtilizationGrid::PaperSweep => {
+                (1..=39).map(|i| 0.025 * i as f64 * cores as f64).collect()
+            }
+            UtilizationGrid::NormalizedSteps(steps) => {
+                let steps = (*steps).max(1);
+                (1..=steps)
+                    .map(|i| 0.975 * i as f64 / steps as f64 * cores as f64)
+                    .collect()
+            }
+            UtilizationGrid::Fractions(fractions) => {
+                fractions.iter().map(|f| f * cores as f64).collect()
+            }
+            UtilizationGrid::Absolute(values) => values.clone(),
+            UtilizationGrid::NotApplicable => Vec::new(),
+        }
+    }
+}
+
+/// What the engine measures at each scenario point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evaluation {
+    /// Run the allocator and record schedulability plus tightness metrics.
+    Allocate,
+    /// Allocate, simulate the resulting schedule, inject attacks and record
+    /// detection-latency statistics (the Figure 1 pipeline).
+    Detection {
+        /// Simulated observation window (full `Time` resolution; sub-second
+        /// horizons are honoured, not truncated).
+        horizon: rt_core::Time,
+        /// Number of injected attacks per scenario.
+        attacks: usize,
+    },
+}
+
+/// How the axes combine into scenario points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    /// The full cartesian product of all axes.
+    Cartesian,
+    /// A deterministic random subset of the cartesian product with at most
+    /// this many points (seeded from the spec's base seed).
+    Sampled(usize),
+}
+
+/// A complete, declarative description of one design-space sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Sweep name; used for output file stems.
+    pub name: String,
+    /// Workload source.
+    pub workload: Workload,
+    /// Measurement pipeline.
+    pub evaluation: Evaluation,
+    /// Core counts to explore.
+    pub cores: Vec<usize>,
+    /// Utilization axis.
+    pub utilizations: UtilizationGrid,
+    /// Allocation schemes to compare.
+    pub allocators: Vec<AllocatorKind>,
+    /// Independent task sets per `(cores, utilization)` point.
+    pub trials: usize,
+    /// Base seed; every scenario derives its own independent sub-seed.
+    pub base_seed: u64,
+    /// Cartesian or sampled expansion.
+    pub expansion: Expansion,
+}
+
+impl ScenarioSpec {
+    /// A synthetic allocate-only sweep with the paper's defaults; the usual
+    /// starting point, customised by mutating fields.
+    #[must_use]
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            workload: Workload::Synthetic(SyntheticOverrides::default()),
+            evaluation: Evaluation::Allocate,
+            cores: vec![2, 4, 8],
+            utilizations: UtilizationGrid::PaperSweep,
+            allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            trials: 25,
+            base_seed: 2018,
+            expansion: Expansion::Cartesian,
+        }
+    }
+
+    /// The UAV case-study detection sweep (the Figure 1 pipeline).
+    #[must_use]
+    pub fn uav_detection(name: impl Into<String>, horizon_secs: u64, attacks: usize) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            workload: Workload::CaseStudyUav,
+            evaluation: Evaluation::Detection {
+                horizon: rt_core::Time::from_secs(horizon_secs),
+                attacks,
+            },
+            cores: vec![2, 4, 8],
+            utilizations: UtilizationGrid::NotApplicable,
+            allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            trials: 1,
+            base_seed: 2018,
+            expansion: Expansion::Cartesian,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in AllocatorKind::ALL {
+            assert_eq!(AllocatorKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(
+            AllocatorKind::parse("single_core"),
+            Some(AllocatorKind::SingleCore)
+        );
+        assert_eq!(
+            AllocatorKind::parse("SINGLE-CORE"),
+            Some(AllocatorKind::SingleCore)
+        );
+        assert_eq!(AllocatorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn paper_sweep_matches_the_39_points() {
+        let points = UtilizationGrid::PaperSweep.points(4);
+        assert_eq!(points.len(), 39);
+        assert!((points[0] - 0.1).abs() < 1e-9);
+        assert!((points[38] - 3.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_steps_scale_with_cores() {
+        let p2 = UtilizationGrid::NormalizedSteps(10).points(2);
+        let p8 = UtilizationGrid::NormalizedSteps(10).points(8);
+        assert_eq!(p2.len(), 10);
+        assert!((p8[9] / p2[9] - 4.0).abs() < 1e-9);
+        assert!((p2[9] - 0.975 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_paper_defaults() {
+        let overrides = SyntheticOverrides {
+            security_tasks: Some((2, 6)),
+            rt_tasks: None,
+        };
+        let config = overrides.config_for(2);
+        assert_eq!(config.security_tasks, (2, 6));
+        assert_eq!(config.rt_tasks, (6, 20));
+        assert_ne!(
+            SyntheticOverrides::default().fingerprint(),
+            overrides.fingerprint()
+        );
+    }
+
+    #[test]
+    fn builders_produce_named_allocators() {
+        let workload = Workload::Synthetic(SyntheticOverrides::default());
+        for kind in AllocatorKind::ALL {
+            let allocator = kind.build(4, &workload);
+            assert!(!allocator.name().is_empty());
+        }
+        // The UAV workload wires the Table I precedence graph in.
+        let uav = AllocatorKind::Precedence.build(6, &Workload::CaseStudyUav);
+        assert!(!uav.name().is_empty());
+    }
+}

@@ -192,7 +192,9 @@ mod tests {
     }
 
     fn sample() -> TaskSet {
-        vec![task(1, 10), task(2, 10), task(5, 20)].into_iter().collect()
+        vec![task(1, 10), task(2, 10), task(5, 20)]
+            .into_iter()
+            .collect()
     }
 
     #[test]

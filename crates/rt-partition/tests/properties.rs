@@ -24,7 +24,10 @@ fn all_configs() -> Vec<PartitionConfig> {
         Heuristic::NextFit,
     ] {
         for a in [AdmissionTest::ResponseTime, AdmissionTest::Hyperbolic] {
-            for o in [TaskOrdering::Declaration, TaskOrdering::DecreasingUtilization] {
+            for o in [
+                TaskOrdering::Declaration,
+                TaskOrdering::DecreasingUtilization,
+            ] {
                 cfgs.push(PartitionConfig::new(h, a).with_ordering(o));
             }
         }

@@ -61,7 +61,10 @@ impl AttackScenario {
     /// Panics if `targets` is empty.
     #[must_use]
     pub fn generate(&self, count: usize, targets: &[usize]) -> Vec<InjectedAttack> {
-        assert!(!targets.is_empty(), "at least one attack target is required");
+        assert!(
+            !targets.is_empty(),
+            "at least one attack target is required"
+        );
         let mut rng = SplitMix64::new(self.seed);
         let window = (self.horizon - self.margin).as_ticks();
         (0..count)
@@ -105,7 +108,10 @@ mod tests {
             .iter()
             .filter(|a| a.time < Time::from_secs(50))
             .count();
-        assert!((400..600).contains(&early), "{early} attacks in the first half");
+        assert!(
+            (400..600).contains(&early),
+            "{early} attacks in the first half"
+        );
     }
 
     #[test]

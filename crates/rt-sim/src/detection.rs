@@ -158,10 +158,7 @@ mod tests {
     #[test]
     fn interference_delays_detection() {
         // An RT task hogs the core so the security check is pushed back.
-        let tasks = vec![
-            rt_task(60, 100, 0, 0),
-            security_task(10, 100, 0, 1, 0),
-        ];
+        let tasks = vec![rt_task(60, 100, 0, 0), security_task(10, 100, 0, 1, 0)];
         let trace = simulate(&tasks, &SimConfig::new(Time::from_secs(1)));
         let attacks = vec![InjectedAttack {
             time: Time::from_millis(10),

@@ -65,7 +65,7 @@ fn simulate_core(tasks: &[SimTask], members: &[usize], horizon: Time, out: &mut 
                     remaining: task.wcet,
                     start: None,
                 });
-                next_release[slot] = next_release[slot] + task.period;
+                next_release[slot] += task.period;
             }
         }
 
@@ -110,7 +110,7 @@ fn simulate_core(tasks: &[SimTask], members: &[usize], horizon: Time, out: &mut 
             None => completion.min(horizon),
         };
         let ran = next_event - now;
-        job.remaining = job.remaining - ran;
+        job.remaining -= ran;
         now = next_event;
 
         if job.remaining.is_zero() {
@@ -202,10 +202,7 @@ mod tests {
         let tasks = vec![task("a", 2, 10, 0, 0)];
         let trace = simulate(&tasks, &SimConfig::new(Time::from_millis(35)));
         // Releases at 0, 10, 20, 30 → four jobs, finishing at 2, 12, 22, 32.
-        let finishes: Vec<Time> = trace
-            .jobs_of(0)
-            .filter_map(|j| j.finish)
-            .collect();
+        let finishes: Vec<Time> = trace.jobs_of(0).filter_map(|j| j.finish).collect();
         assert_eq!(
             finishes,
             vec![
@@ -308,7 +305,11 @@ mod tests {
         // Utilisation exactly 1.0 with harmonic periods: the core must be
         // busy for the whole horizon, i.e. the total completed work equals
         // the horizon length.
-        let tasks = vec![task("a", 1, 2, 0, 0), task("b", 1, 4, 0, 1), task("c", 2, 8, 0, 2)];
+        let tasks = vec![
+            task("a", 1, 2, 0, 0),
+            task("b", 1, 4, 0, 1),
+            task("c", 2, 8, 0, 2),
+        ];
         let horizon = Time::from_millis(80);
         let trace = simulate(&tasks, &SimConfig::new(horizon));
         let busy: u64 = (0..3)

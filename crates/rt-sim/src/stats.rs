@@ -85,7 +85,9 @@ pub fn measured_core_utilization(tasks: &[SimTask], trace: &Trace) -> Vec<f64> {
         busy[task.core] += trace.busy_time(idx, task.wcet).as_ticks();
     }
     let horizon = trace.horizon().as_ticks().max(1);
-    busy.into_iter().map(|b| b as f64 / horizon as f64).collect()
+    busy.into_iter()
+        .map(|b| b as f64 / horizon as f64)
+        .collect()
 }
 
 /// Renders the whole trace as CSV (`task,name,core,release_us,start_us,finish_us,deadline_us`),
@@ -183,6 +185,9 @@ mod tests {
         let profiles = response_profiles(&tasks, &trace);
         assert!(profiles[1].deadline_misses > 0);
         let u = measured_core_utilization(&tasks, &trace);
-        assert!(u[0] > 0.95, "an overloaded core must be (almost) fully busy");
+        assert!(
+            u[0] > 0.95,
+            "an overloaded core must be (almost) fully busy"
+        );
     }
 }

@@ -85,7 +85,9 @@ impl Trace {
     /// Worst observed response time of a task, if any of its jobs completed.
     #[must_use]
     pub fn worst_response_time(&self, task: usize) -> Option<Time> {
-        self.jobs_of(task).filter_map(JobRecord::response_time).max()
+        self.jobs_of(task)
+            .filter_map(JobRecord::response_time)
+            .max()
     }
 
     /// Total processor time consumed by completed jobs of a task.
@@ -125,7 +127,11 @@ mod tests {
     #[test]
     fn trace_accessors() {
         let trace = Trace::new(
-            vec![job(1, 30, Some(40), 50), job(0, 0, Some(5), 20), job(0, 20, Some(45), 40)],
+            vec![
+                job(1, 30, Some(40), 50),
+                job(0, 0, Some(5), 20),
+                job(0, 20, Some(45), 40),
+            ],
             Time::from_millis(100),
             2,
         );

@@ -137,7 +137,11 @@ mod tests {
             .max()
             .unwrap();
         for t in tasks.iter().filter(|t| t.is_security()) {
-            assert!(t.priority > max_rt, "{} must run below every RT task", t.name);
+            assert!(
+                t.priority > max_rt,
+                "{} must run below every RT task",
+                t.name
+            );
         }
     }
 
@@ -159,8 +163,7 @@ mod tests {
 
     #[test]
     fn security_periods_match_the_allocation() {
-        let problem =
-            AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), 2);
+        let problem = AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), 2);
         let allocation = HydraAllocator::default().allocate(&problem).unwrap();
         let tasks = simulation_tasks(&problem, &allocation);
         for t in tasks.iter() {

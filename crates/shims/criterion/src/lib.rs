@@ -1,0 +1,304 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a minimal, API-compatible stand-in for the subset of `criterion` the
+//! workspace's benches use: [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], [`BenchmarkId`], benchmark groups with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`, and
+//! [`black_box`].
+//!
+//! Instead of criterion's full statistical pipeline it runs a short warm-up,
+//! then `sample_size` timed samples of an adaptively-chosen iteration count,
+//! and reports min / mean / median / max per-iteration times on stdout. Run
+//! with `cargo bench`. Not a statistics-grade harness — just enough to track
+//! relative throughput over time offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a bare parameter (rendered as just the parameter).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration sample durations, filled by [`Bencher::iter`].
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count so one sample
+    /// takes roughly 10 ms, then collecting the configured sample count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find iters such that a sample ≈ 10 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 100
+            } else {
+                let scale = Duration::from_millis(10).as_nanos() / elapsed.as_nanos().max(1);
+                (iters * (scale as u64).clamp(2, 100)).min(1 << 20)
+            };
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn report(name: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted = results.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{name:<50} time: [{} {} {}] (median {}, {} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        fmt_duration(median),
+        sorted.len()
+    );
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.into_benchmark_id().name),
+            &bencher.results,
+        );
+    }
+
+    /// Runs a named benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.into_benchmark_id().name),
+            &bencher.results,
+        );
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`] (accepts ids and plain strings).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Default configuration: 10 samples per benchmark (kept small — the
+    /// shim is for offline trend-tracking, not statistics).
+    #[must_use]
+    pub fn new() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single named benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.default_sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &bencher.results);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip timing there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            results: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert_eq!(b.results.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_ids_render_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("cores", 4).name, "cores/4");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn duration_formatting_scales_units() {
+        assert!(fmt_duration(std::time::Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(std::time::Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(std::time::Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(std::time::Duration::from_secs(10)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,503 @@
+//! # proptest (offline shim)
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a minimal, API-compatible stand-in for the subset of `proptest` the
+//! workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//!   [`Strategy::prop_filter`] and [`Strategy::prop_filter_map`],
+//! * range strategies over integers and floats, tuple strategies (arity 2–4),
+//!   [`Just`], and [`collection::vec`],
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! * `prop_assert!`, `prop_assert_eq!` and `prop_assert_ne!`.
+//!
+//! Differences from upstream: inputs are generated from a fixed seed per test
+//! (fully deterministic; override with `PROPTEST_SEED`), there is **no
+//! shrinking** — a failing case reports the generated inputs via the panic
+//! message of the underlying assertion — and `PROPTEST_CASES` overrides the
+//! case count globally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// How many times a single strategy may reject (via `prop_filter` /
+/// `prop_filter_map`) before the harness gives up.
+const MAX_REJECTS: usize = 65_536;
+
+/// A recipe for generating values of type `Value`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value, or `None` if this draw was rejected by a filter.
+    fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values for which `f` returns `false`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            _whence: whence,
+            f,
+        }
+    }
+
+    /// Simultaneously maps and filters: `None` results are discarded.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            _whence: whence,
+            f,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn ErasedStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+trait ErasedStrategy<T> {
+    fn erased_new_value(&self, rng: &mut TestRng) -> Option<T>;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.new_value(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.erased_new_value(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.new_value(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    _whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.new_value(rng).and_then(&self.f)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u64, usize, u32, f64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident / $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                $(let $v = $s.new_value(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A / a)
+    (A / a, B / b)
+    (A / a, B / b, C / c)
+    (A / a, B / b, C / c, D / d)
+    (A / a, B / b, C / c, D / d, E / e)
+    (A / a, B / b, C / c, D / d, E / e, F / f)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::RangeInclusive;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: RangeInclusive<usize>,
+    }
+
+    /// Generates vectors whose length is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    /// A length specification (inclusive range or exact size).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(pub RangeInclusive<usize>);
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange(r.start..=r.end - 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..=n)
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.len.clone());
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.new_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Runtime configuration accepted by the `proptest!` macro header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion. Not part
+/// of the public API contract.
+pub mod runner {
+    use super::{ProptestConfig, Strategy, TestRng, MAX_REJECTS};
+    use rand::SeedableRng;
+
+    /// Derives the per-test deterministic seed: `PROPTEST_SEED` if set, else
+    /// an FNV-1a hash of the fully-qualified test name.
+    #[must_use]
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse() {
+                return v;
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Resolves the case count: `PROPTEST_CASES` overrides the config.
+    #[must_use]
+    pub fn cases_for(config: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    /// What a generated test body returns: `Ok(())` to continue, `Err` to
+    /// fail the test. Upstream proptest wraps bodies the same way, which is
+    /// what makes the `return Ok(())` early-exit idiom compile.
+    pub type TestCaseResult = Result<(), String>;
+
+    /// Runs `body` against `cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy rejects too many draws in a row, or if `body`
+    /// panics or returns `Err` (test failure).
+    pub fn run<S: Strategy>(
+        test_name: &str,
+        config: &ProptestConfig,
+        strategy: &S,
+        body: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        let mut rng = TestRng::seed_from_u64(seed_for(test_name));
+        let cases = cases_for(config);
+        for case in 0..cases {
+            let mut rejected = 0usize;
+            let value = loop {
+                match strategy.new_value(&mut rng) {
+                    Some(v) => break v,
+                    None => {
+                        rejected += 1;
+                        assert!(
+                            rejected < MAX_REJECTS,
+                            "strategy for {test_name} rejected {rejected} draws \
+                             in a row at case {case}"
+                        );
+                    }
+                }
+            };
+            if let Err(message) = body(value) {
+                panic!("{test_name} failed at case {case}: {message}");
+            }
+        }
+    }
+}
+
+/// The strategy namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use super::{
+        collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strategy,)+);
+                $crate::runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| -> $crate::runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    fn test_rng(seed: u64) -> crate::TestRng {
+        crate::TestRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let strategy = (1u64..=10, 0.0f64..1.0).prop_map(|(a, b)| a as f64 + b);
+        let mut rng = test_rng(3);
+        for _ in 0..1000 {
+            let v = strategy.new_value(&mut rng).unwrap();
+            assert!((1.0..11.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_and_accepts() {
+        let strategy =
+            (0u64..100).prop_filter_map("even only", |v| if v % 2 == 0 { Some(v) } else { None });
+        let mut rng = test_rng(5);
+        let mut accepted = 0;
+        for _ in 0..200 {
+            if let Some(v) = strategy.new_value(&mut rng) {
+                assert_eq!(v % 2, 0);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 50);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strategy = collection::vec(0u64..5, 2..=6);
+        let mut rng = test_rng(7);
+        for _ in 0..200 {
+            let v = strategy.new_value(&mut rng).unwrap();
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_runs(a in 0u64..50, b in 0u64..50) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_supports_collections(v in collection::vec(1u64..=9, 1..=4)) {
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| (1..=9).contains(&x)));
+        }
+    }
+}

@@ -33,7 +33,9 @@
 
 pub mod periods;
 pub mod randfixedsum;
+pub mod seeded;
 pub mod synthetic;
 
 pub use randfixedsum::{randfixedsum, uunifast_discard};
+pub use seeded::{derive_seed, generate_problem_seeded, stream_rng};
 pub use synthetic::{generate_problem, SyntheticConfig};

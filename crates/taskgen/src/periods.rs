@@ -82,7 +82,10 @@ mod tests {
     fn degenerate_range_returns_the_single_value() {
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(uniform_period_ms(50, 50, &mut rng), Time::from_millis(50));
-        assert_eq!(log_uniform_period_ms(50, 50, &mut rng), Time::from_millis(50));
+        assert_eq!(
+            log_uniform_period_ms(50, 50, &mut rng),
+            Time::from_millis(50)
+        );
     }
 
     #[test]

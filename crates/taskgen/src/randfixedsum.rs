@@ -235,8 +235,7 @@ mod tests {
     }
 
     #[test]
-    fn generators_agree_on_the_single_processor_mean(
-    ) {
+    fn generators_agree_on_the_single_processor_mean() {
         let mut rng = StdRng::seed_from_u64(21);
         let trials = 2000;
         let (n, s) = (5usize, 0.8f64);

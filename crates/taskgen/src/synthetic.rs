@@ -73,11 +73,7 @@ impl SyntheticConfig {
     }
 }
 
-fn split_utilization<R: Rng + ?Sized>(
-    total: f64,
-    share: f64,
-    rng: &mut R,
-) -> (f64, f64) {
+fn split_utilization<R: Rng + ?Sized>(total: f64, share: f64, rng: &mut R) -> (f64, f64) {
     // Draw the security share of the *real-time* utilisation uniformly in
     // (0, share], then split the requested total so that
     // u_sec = frac · u_rt and u_rt + u_sec = total.

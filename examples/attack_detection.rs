@@ -15,9 +15,12 @@ use hydra_repro::sim::workload::{simulation_tasks, TaskKind};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A moderately loaded dual-core real-time workload.
     let rt_tasks: TaskSet = vec![
-        RtTask::implicit_deadline(Time::from_millis(10), Time::from_millis(40))?.with_name("flight_control"),
-        RtTask::implicit_deadline(Time::from_millis(30), Time::from_millis(120))?.with_name("vision"),
-        RtTask::implicit_deadline(Time::from_millis(25), Time::from_millis(100))?.with_name("planner"),
+        RtTask::implicit_deadline(Time::from_millis(10), Time::from_millis(40))?
+            .with_name("flight_control"),
+        RtTask::implicit_deadline(Time::from_millis(30), Time::from_millis(120))?
+            .with_name("vision"),
+        RtTask::implicit_deadline(Time::from_millis(25), Time::from_millis(100))?
+            .with_name("planner"),
     ]
     .into_iter()
     .collect();

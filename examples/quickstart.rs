@@ -10,10 +10,14 @@ use hydra_repro::rt::{RtTask, TaskSet, Time};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small real-time workload: four control tasks, already schedulable.
     let rt_tasks: TaskSet = vec![
-        RtTask::implicit_deadline(Time::from_millis(5), Time::from_millis(25))?.with_name("sensing"),
-        RtTask::implicit_deadline(Time::from_millis(10), Time::from_millis(50))?.with_name("control"),
-        RtTask::implicit_deadline(Time::from_millis(20), Time::from_millis(200))?.with_name("logging"),
-        RtTask::implicit_deadline(Time::from_millis(40), Time::from_millis(400))?.with_name("telemetry"),
+        RtTask::implicit_deadline(Time::from_millis(5), Time::from_millis(25))?
+            .with_name("sensing"),
+        RtTask::implicit_deadline(Time::from_millis(10), Time::from_millis(50))?
+            .with_name("control"),
+        RtTask::implicit_deadline(Time::from_millis(20), Time::from_millis(200))?
+            .with_name("logging"),
+        RtTask::implicit_deadline(Time::from_millis(40), Time::from_millis(400))?
+            .with_name("telemetry"),
     ]
     .into_iter()
     .collect();
@@ -47,11 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The designer can also ask "what if I only had two cores?".
-    let two_core = AllocationProblem::new(
-        problem.rt_tasks.clone(),
-        problem.security_tasks.clone(),
-        2,
-    );
+    let two_core =
+        AllocationProblem::new(problem.rt_tasks.clone(), problem.security_tasks.clone(), 2);
     let allocation2 = HydraAllocator::default().allocate(&two_core)?;
     println!(
         "on two cores the cumulative tightness is {:.3}",

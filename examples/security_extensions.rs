@@ -12,11 +12,7 @@ use hydra_repro::hydra::{casestudy, catalog, AllocationProblem, NpHydraAllocator
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Precedence: the Tripwire self-check must run before every other
     //    Tripwire check (Table I catalogue order, see `table1_precedence`).
-    let problem = AllocationProblem::new(
-        casestudy::uav_rt_tasks(),
-        catalog::table1_tasks(),
-        2,
-    );
+    let problem = AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), 2);
     let constrained = PrecedenceHydraAllocator::new(table1_precedence()).allocate(&problem)?;
     println!("precedence-aware allocation (2 cores):");
     let self_check_period = constrained.period_of(SecurityTaskId(0));
@@ -29,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             placement.period.to_string(),
             placement.tightness
         );
-        assert!(id == SecurityTaskId(0) || id == SecurityTaskId(5) || placement.period >= self_check_period);
+        assert!(
+            id == SecurityTaskId(0)
+                || id == SecurityTaskId(5)
+                || placement.period >= self_check_period
+        );
     }
 
     // 2. Non-preemptive checks: mark the two heaviest Tripwire scans as
@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let np_tasks: hydra_repro::hydra::SecurityTaskSet = tasks
         .iter()
         .map(|(id, t)| {
-            if matches!(t.name(), Some("tripwire_executables" | "tripwire_libraries")) {
+            if matches!(
+                t.name(),
+                Some("tripwire_executables" | "tripwire_libraries")
+            ) {
                 problem.security_tasks[id].clone().non_preemptive()
             } else {
                 t.clone()
@@ -56,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!(
                     "  {:<24} {}  core {}  T = {:>7}",
                     task.name().unwrap_or("security"),
-                    if task.is_non_preemptive() { "[NP]" } else { "    " },
+                    if task.is_non_preemptive() {
+                        "[NP]"
+                    } else {
+                        "    "
+                    },
                     placement.core.0,
                     placement.period.to_string(),
                 );
@@ -66,8 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Sensitivity: how much headroom does the plain HYDRA allocation keep?
-    let allocation =
-        hydra_repro::hydra::HydraAllocator::default().allocate(&problem)?;
+    let allocation = hydra_repro::hydra::HydraAllocator::default().allocate(&problem)?;
     println!("\nsensitivity of the 2-core allocation:");
     println!(
         "  security WCETs could grow by a factor of {:.2} before a constraint breaks",

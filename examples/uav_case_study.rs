@@ -22,15 +22,11 @@ const ATTACKS: usize = 200;
 fn evaluate(scheme: &dyn Allocator) -> Result<EmpiricalCdf, Box<dyn std::error::Error>> {
     // Real-time tasks are spread over all cores (worst-fit), as the paper
     // assumes for the multicore design point.
-    let problem = AllocationProblem::new(
-        casestudy::uav_rt_tasks(),
-        catalog::table1_tasks(),
-        CORES,
-    )
-    .with_partition_config(PartitionConfig::new(
-        Heuristic::WorstFit,
-        AdmissionTest::ResponseTime,
-    ));
+    let problem = AllocationProblem::new(casestudy::uav_rt_tasks(), catalog::table1_tasks(), CORES)
+        .with_partition_config(PartitionConfig::new(
+            Heuristic::WorstFit,
+            AdmissionTest::ResponseTime,
+        ));
     let allocation = scheme.allocate(&problem)?;
 
     println!("== {} ==", scheme.name());

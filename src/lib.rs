@@ -14,7 +14,8 @@
 //!   SingleCore and Optimal allocators ([`hydra_core`]),
 //! * [`sim`] — the discrete-event simulator with attack injection
 //!   ([`rt_sim`]),
-//! * [`gen`] — synthetic workload generation ([`taskgen`]).
+//! * [`gen`] — synthetic workload generation ([`taskgen`]),
+//! * [`dse`] — the parallel design-space exploration engine ([`rt_dse`]).
 //!
 //! # Example
 //!
@@ -68,4 +69,11 @@ pub mod sim {
 /// Synthetic workload generation (re-export of [`taskgen`]).
 pub mod gen {
     pub use taskgen::*;
+}
+
+/// The parallel design-space exploration engine (re-export of [`rt_dse`]):
+/// declarative [`dse::ScenarioSpec`]s expanded into scenario grids and
+/// executed on a deterministic multi-threaded sweep engine.
+pub mod dse {
+    pub use rt_dse::*;
 }

@@ -51,8 +51,7 @@ fn simulated_security_response_times_respect_granted_periods() {
     let trace = simulate(&tasks, &SimConfig::new(Time::from_secs(120)));
     for (idx, task) in tasks.iter().enumerate() {
         if let TaskKind::Security(sec_idx) = task.kind {
-            let granted = allocation
-                .period_of(hydra_repro::hydra::SecurityTaskId(sec_idx));
+            let granted = allocation.period_of(hydra_repro::hydra::SecurityTaskId(sec_idx));
             if let Some(worst) = trace.worst_response_time(idx) {
                 assert!(
                     worst <= granted,
@@ -84,9 +83,7 @@ fn optimal_dominates_hydra_on_the_two_core_case_study() {
     let sec = &problem.security_tasks;
     let hydra = HydraAllocator::default().allocate(&problem).unwrap();
     let optimal = OptimalAllocator::default().allocate(&problem).unwrap();
-    assert!(
-        optimal.cumulative_tightness(sec) + 1e-9 >= hydra.cumulative_tightness(sec)
-    );
+    assert!(optimal.cumulative_tightness(sec) + 1e-9 >= hydra.cumulative_tightness(sec));
 }
 
 #[test]

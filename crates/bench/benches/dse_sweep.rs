@@ -1,7 +1,8 @@
 //! Criterion bench: throughput of the `rt-dse` sweep engine (scenarios per
-//! second), serial vs multi-threaded, plus the marginal cost of the
-//! memoization layer's sharing across the allocator axis. This seeds the
-//! performance trajectory for the sweep engine (`BENCH_*.json`).
+//! second), serial vs multi-threaded, the buffered-vs-streaming output path,
+//! plus the marginal cost of the memoization layer's sharing across the
+//! allocator axis. This seeds the performance trajectory for the sweep
+//! engine (`BENCH_*.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_dse::prelude::*;
@@ -31,6 +32,39 @@ fn bench_sweep_throughput(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+fn bench_streaming_vs_buffered(c: &mut Criterion) {
+    // The gate for the streaming refactor: rendering the sweep through the
+    // incremental sinks (reorder buffer + per-record serialization, bounded
+    // memory) must not lose throughput against the legacy buffer-everything-
+    // then-render path. Both arms produce the complete JSONL and CSV bytes.
+    let mut group = c.benchmark_group("dse_output_path");
+    group.sample_size(10);
+    group.bench_function("buffered_then_rendered", |b| {
+        let spec = sweep_spec();
+        let executor = Executor::with_threads(2);
+        b.iter(|| {
+            let result = executor.run(std::hint::black_box(&spec));
+            let jsonl = to_jsonl(&result.outcomes);
+            let csv = to_csv(&result.outcomes);
+            std::hint::black_box((jsonl.len(), csv.len()))
+        });
+    });
+    group.bench_function("streaming_sinks", |b| {
+        let spec = sweep_spec();
+        let executor = Executor::with_threads(2);
+        b.iter(|| {
+            let mut jsonl = JsonlSink::new(Vec::new());
+            let mut csv = CsvSink::new(Vec::new(), true);
+            let mut tee = rt_dse::TeeSink::new().with(&mut jsonl).with(&mut csv);
+            executor
+                .run_streaming(std::hint::black_box(&spec), &mut tee)
+                .expect("in-memory sinks never fail");
+            std::hint::black_box((jsonl.bytes_written(), csv.bytes_written()))
+        });
+    });
     group.finish();
 }
 
@@ -69,6 +103,7 @@ fn bench_memoized_vs_fresh_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sweep_throughput,
+    bench_streaming_vs_buffered,
     bench_grid_expansion,
     bench_memoized_vs_fresh_generation
 );

@@ -92,10 +92,16 @@ pub struct AcceptancePoint {
 
 /// Runs the Figure 2 experiment on the parallel sweep engine and returns one
 /// [`AcceptancePoint`] per `(cores, utilisation)` pair.
+///
+/// Streams: the engine folds per-worker partial aggregates online and never
+/// retains the per-scenario outcomes, so paper-scale trial counts run in
+/// bounded memory.
 #[must_use]
 pub fn run(config: &Fig2Config) -> Vec<AcceptancePoint> {
-    let result = Executor::parallel().run(&config.spec());
-    points_from(&aggregate(&result.outcomes))
+    let summary = Executor::parallel()
+        .run_streaming(&config.spec(), &mut NullSink)
+        .expect("a NullSink never raises I/O errors");
+    points_from(&summary.partial.rows())
 }
 
 /// Builds the Figure 2 series from the engine's aggregate rows.

@@ -94,27 +94,30 @@ pub struct TightnessPoint {
 }
 
 /// Runs the Figure 3 experiment on the parallel sweep engine.
+///
+/// Streams: the paired join folds outcome by outcome in a [`PairedSink`], so
+/// no per-scenario outcome vector is ever retained.
 #[must_use]
 pub fn run(config: &Fig3Config) -> Vec<TightnessPoint> {
-    let result = Executor::parallel().run(&config.spec());
-    paired_comparison(
-        &result.outcomes,
-        AllocatorKind::Hydra,
-        AllocatorKind::Optimal,
-    )
-    .into_iter()
-    .map(|p| TightnessPoint {
-        utilization: p.utilization.unwrap_or(0.0),
-        compared: p.compared,
-        hydra_tightness: p.a_tightness,
-        optimal_tightness: p.b_tightness,
-        // Optimal dominates HYDRA by construction; the clamp only absorbs
-        // floating-point noise on equal allocations (matching
-        // `hydra_core::metrics::tightness_gap_percent`).
-        gap_percent: p.mean_gap_percent.max(0.0),
-        max_gap_percent: p.max_gap_percent.max(0.0),
-    })
-    .collect()
+    let mut paired = PairedSink::new(AllocatorKind::Hydra, AllocatorKind::Optimal);
+    Executor::parallel()
+        .run_streaming(&config.spec(), &mut paired)
+        .expect("a PairedSink never raises I/O errors");
+    paired
+        .into_points()
+        .into_iter()
+        .map(|p| TightnessPoint {
+            utilization: p.utilization.unwrap_or(0.0),
+            compared: p.compared,
+            hydra_tightness: p.a_tightness,
+            optimal_tightness: p.b_tightness,
+            // Optimal dominates HYDRA by construction; the clamp only absorbs
+            // floating-point noise on equal allocations (matching
+            // `hydra_core::metrics::tightness_gap_percent`).
+            gap_percent: p.mean_gap_percent.max(0.0),
+            max_gap_percent: p.max_gap_percent.max(0.0),
+        })
+        .collect()
 }
 
 /// Renders the Figure 3 series as a table.

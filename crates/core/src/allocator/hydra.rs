@@ -108,7 +108,7 @@ impl HydraAllocator {
         let mut placed: Vec<Vec<(SecurityTaskId, PeriodChoice)>> = vec![Vec::new(); cores];
         let mut placements: Vec<Option<SecurityPlacement>> = vec![None; security_tasks.len()];
 
-        for sec_id in security_tasks.ids_by_priority() {
+        for &sec_id in security_tasks.priority_order() {
             let task = &security_tasks[sec_id];
             let mut best: Option<(CoreId, PeriodChoice, f64)> = None;
             for m in 0..cores {
@@ -174,6 +174,14 @@ impl Allocator for HydraAllocator {
                 },
             )?;
         self.allocate_with_partition(&problem.rt_tasks, &rt_partition, &problem.security_tasks)
+    }
+
+    fn allocate_with_rt_partition(
+        &self,
+        problem: &AllocationProblem,
+        rt_partition: &Partition,
+    ) -> Result<Allocation, AllocationError> {
+        self.allocate_with_partition(&problem.rt_tasks, rt_partition, &problem.security_tasks)
     }
 }
 

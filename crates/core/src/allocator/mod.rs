@@ -12,6 +12,8 @@ pub use hydra::{CoreSelection, HydraAllocator};
 pub use optimal::OptimalAllocator;
 pub use single_core::SingleCoreAllocator;
 
+use rt_partition::Partition;
+
 use crate::allocation::{Allocation, AllocationError, AllocationProblem};
 
 /// A scheme that decides where security tasks run and with what period.
@@ -27,6 +29,27 @@ pub trait Allocator {
     /// partitioned or no feasible placement/period exists for some security
     /// task under this scheme.
     fn allocate(&self, problem: &AllocationProblem) -> Result<Allocation, AllocationError>;
+
+    /// Allocates against an **already-partitioned** real-time workload,
+    /// skipping this scheme's own `partition_tasks` call.
+    ///
+    /// `rt_partition` must cover `problem.rt_tasks` on `problem.cores` cores
+    /// and be the partition this scheme would have computed itself — for most
+    /// schemes the full-platform partition under `problem.partition_config`;
+    /// for [`SingleCoreAllocator`] the `M − 1`-core partition re-expressed
+    /// over the full platform with the dedicated security core left empty.
+    /// Harnesses that sweep several schemes over the same problem use this to
+    /// partition once and share the result (see `rt-dse`'s `MemoCache`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AllocationError`] when no feasible placement/period
+    /// exists for some security task under this scheme.
+    fn allocate_with_rt_partition(
+        &self,
+        problem: &AllocationProblem,
+        rt_partition: &Partition,
+    ) -> Result<Allocation, AllocationError>;
 }
 
 #[cfg(test)]

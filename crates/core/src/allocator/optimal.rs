@@ -13,7 +13,7 @@
 //! allocator is **never worse than HYDRA** on the same problem — the
 //! invariant behind Figure 3.
 
-use rt_partition::{partition_tasks, CoreId};
+use rt_partition::{partition_tasks, CoreId, Partition};
 
 use crate::allocation::{Allocation, AllocationError, AllocationProblem, SecurityPlacement};
 use crate::allocator::Allocator;
@@ -76,10 +76,18 @@ impl Allocator for OptimalAllocator {
                     cores: problem.cores,
                 },
             )?;
+        self.allocate_with_rt_partition(problem, &rt_partition)
+    }
+
+    fn allocate_with_rt_partition(
+        &self,
+        problem: &AllocationProblem,
+        rt_partition: &Partition,
+    ) -> Result<Allocation, AllocationError> {
         let cores = problem.cores;
         let n = problem.security_tasks.len();
         if n == 0 {
-            return Ok(Allocation::new(rt_partition, Vec::new()));
+            return Ok(Allocation::new(rt_partition.clone(), Vec::new()));
         }
 
         let assignments = (cores as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
@@ -91,7 +99,7 @@ impl Allocator for OptimalAllocator {
         }
 
         let rt_bounds: Vec<InterferenceBound> = (0..cores)
-            .map(|m| rt_interference_on(&problem.rt_tasks, &rt_partition, CoreId(m)))
+            .map(|m| rt_interference_on(&problem.rt_tasks, rt_partition, CoreId(m)))
             .collect();
         // Security tasks in priority order (highest first); assignments are
         // enumerated over this order so per-core groups come out already
@@ -159,7 +167,7 @@ impl Allocator for OptimalAllocator {
         }
 
         match best {
-            Some((_, placements)) => Ok(Allocation::new(rt_partition, placements)),
+            Some((_, placements)) => Ok(Allocation::new(rt_partition.clone(), placements)),
             None => Err(AllocationError::SecurityUnschedulable { task: None }),
         }
     }

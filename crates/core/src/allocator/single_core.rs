@@ -54,6 +54,21 @@ impl SingleCoreAllocator {
     pub fn security_core(cores: usize) -> CoreId {
         CoreId(cores.saturating_sub(1))
     }
+
+    /// Re-expresses a partition computed over the first `M − 1` cores as a
+    /// full-platform partition on which the dedicated security core hosts no
+    /// real-time task — the shape [`Allocator::allocate_with_rt_partition`]
+    /// expects for this scheme.
+    #[must_use]
+    pub fn widen_partition(small: &Partition, cores: usize, task_count: usize) -> Partition {
+        let mut full = Partition::new(task_count, cores);
+        for id in (0..task_count).map(rt_core::TaskId) {
+            if let Some(core) = small.core_of(id) {
+                full.assign(id, core);
+            }
+        }
+        full
+    }
 }
 
 impl Allocator for SingleCoreAllocator {
@@ -69,7 +84,9 @@ impl Allocator for SingleCoreAllocator {
             });
         }
         let rt_cores = problem.cores - 1;
-        // Partition the real-time tasks onto the first M − 1 cores.
+        // Partition the real-time tasks onto the first M − 1 cores, then
+        // re-express over the full platform (the dedicated core simply hosts
+        // no real-time task).
         let rt_partition_small =
             partition_tasks(&problem.rt_tasks, rt_cores, &problem.partition_config).map_err(
                 |e| AllocationError::RtPartitionFailed {
@@ -77,21 +94,32 @@ impl Allocator for SingleCoreAllocator {
                     cores: rt_cores,
                 },
             )?;
-        // Re-express the partition over the full platform (the dedicated core
-        // simply hosts no real-time task).
-        let mut rt_partition = Partition::new(problem.rt_tasks.len(), problem.cores);
-        for id in problem.rt_tasks.ids() {
-            if let Some(core) = rt_partition_small.core_of(id) {
-                rt_partition.assign(id, core);
-            }
-        }
+        let rt_partition =
+            Self::widen_partition(&rt_partition_small, problem.cores, problem.rt_tasks.len());
+        self.allocate_with_rt_partition(problem, &rt_partition)
+    }
 
+    fn allocate_with_rt_partition(
+        &self,
+        problem: &AllocationProblem,
+        rt_partition: &Partition,
+    ) -> Result<Allocation, AllocationError> {
+        if problem.cores < 2 {
+            return Err(AllocationError::InsufficientCores {
+                available: problem.cores,
+                required: 2,
+            });
+        }
         let security_core = Self::security_core(problem.cores);
+        debug_assert!(
+            rt_partition.tasks_on(security_core).is_empty(),
+            "the dedicated security core must host no real-time task"
+        );
         let mut placed: Vec<(SecurityTaskId, PeriodChoice)> = Vec::new();
         let mut placements: Vec<Option<SecurityPlacement>> =
             vec![None; problem.security_tasks.len()];
 
-        for sec_id in problem.security_tasks.ids_by_priority() {
+        for &sec_id in problem.security_tasks.priority_order() {
             let task = &problem.security_tasks[sec_id];
             // No real-time interference on the dedicated core; only the
             // higher-priority security tasks already placed there.
@@ -115,7 +143,7 @@ impl Allocator for SingleCoreAllocator {
             .into_iter()
             .map(|p| p.expect("every security task was placed or we returned early"))
             .collect();
-        Ok(Allocation::new(rt_partition, placements))
+        Ok(Allocation::new(rt_partition.clone(), placements))
     }
 }
 

@@ -16,6 +16,21 @@ impl AcceptanceCounter {
         AcceptanceCounter::default()
     }
 
+    /// Reconstructs a counter from raw counts (e.g. when restoring a
+    /// checkpointed partial aggregate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accepted > total`.
+    #[must_use]
+    pub fn from_counts(accepted: u64, total: u64) -> Self {
+        assert!(
+            accepted <= total,
+            "accepted ({accepted}) cannot exceed total ({total})"
+        );
+        AcceptanceCounter { accepted, total }
+    }
+
     /// Records one trial.
     pub fn record(&mut self, accepted: bool) {
         self.total += 1;
@@ -113,25 +128,49 @@ pub fn std_dev(values: &[f64]) -> f64 {
 /// The `p`-th percentile (0–100) of a slice using linear interpolation;
 /// `0` for an empty slice.
 ///
+/// Clones and sorts the input. On a hot path where the caller already holds
+/// sorted data, use [`percentile_sorted`] instead.
+///
 /// # Panics
 ///
 /// Panics if `p` is not within `[0, 100]`.
 #[must_use]
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     if values.is_empty() {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         return 0.0;
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    if sorted.len() == 1 {
-        return sorted[0];
+    percentile_sorted(&sorted, p)
+}
+
+/// The `p`-th percentile (0–100) of an **already ascending-sorted** slice
+/// using linear interpolation; `0` for an empty slice. No allocation, no
+/// re-sort — the hot-path sibling of [`percentile`].
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 100]`. Debug builds additionally assert
+/// that the slice is sorted.
+#[must_use]
+pub fn percentile_sorted(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted requires ascending-sorted input"
+    );
+    match values {
+        [] => 0.0,
+        [only] => *only,
+        _ => {
+            let rank = p / 100.0 * (values.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            values[lo] + (values[hi] - values[lo]) * frac
+        }
     }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 #[cfg(test)]
@@ -197,6 +236,24 @@ mod tests {
         assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-12);
         assert!((percentile(&v, 100.0) - 4.0).abs() < 1e-12);
         assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile_on_sorted_input() {
+        let unsorted = [4.0, 1.0, 3.0, 2.0, 9.0];
+        let mut sorted = unsorted;
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.0, 12.5, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&unsorted, p), percentile_sorted(&sorted, p));
+        }
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 90.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_sorted_out_of_range_panics() {
+        let _ = percentile_sorted(&[1.0], -1.0);
     }
 
     #[test]

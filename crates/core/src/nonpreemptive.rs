@@ -117,7 +117,7 @@ impl NpHydraAllocator {
         let mut np_blocking: Vec<Time> = vec![Time::ZERO; cores];
         let mut placements: Vec<Option<SecurityPlacement>> = vec![None; security_tasks.len()];
 
-        for sec_id in security_tasks.ids_by_priority() {
+        for &sec_id in security_tasks.priority_order() {
             let task = &security_tasks[sec_id];
             let mut best: Option<(CoreId, PeriodChoice, f64)> = None;
             for m in 0..cores {
@@ -221,6 +221,14 @@ impl Allocator for NpHydraAllocator {
                 },
             )?;
         self.allocate_with_partition(&problem.rt_tasks, &rt_partition, &problem.security_tasks)
+    }
+
+    fn allocate_with_rt_partition(
+        &self,
+        problem: &AllocationProblem,
+        rt_partition: &Partition,
+    ) -> Result<Allocation, AllocationError> {
+        self.allocate_with_partition(&problem.rt_tasks, rt_partition, &problem.security_tasks)
     }
 }
 

@@ -387,6 +387,14 @@ impl Allocator for PrecedenceHydraAllocator {
             )?;
         self.allocate_with_partition(&problem.rt_tasks, &rt_partition, &problem.security_tasks)
     }
+
+    fn allocate_with_rt_partition(
+        &self,
+        problem: &AllocationProblem,
+        rt_partition: &Partition,
+    ) -> Result<Allocation, AllocationError> {
+        self.allocate_with_partition(&problem.rt_tasks, rt_partition, &problem.security_tasks)
+    }
 }
 
 #[cfg(test)]

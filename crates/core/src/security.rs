@@ -297,24 +297,48 @@ impl fmt::Display for SecurityTask {
 ///
 /// [`SecurityTaskId`]s are indices into this set. The *priority order* of the
 /// tasks is given by [`SecurityTaskSet::ids_by_priority`]: ascending `T^max`
-/// (ties broken by id), independent of declaration order.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// (ties broken by id), independent of declaration order. The order is
+/// computed lazily on first use and cached (mutation invalidates it), so
+/// per-task queries such as [`SecurityTaskSet::higher_priority_than`] stay
+/// O(n) instead of re-sorting the whole set on every call.
+#[derive(Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SecurityTaskSet {
     tasks: Vec<SecurityTask>,
+    /// Lazily computed priority order; never serialized or compared.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    priority_cache: std::sync::OnceLock<Vec<SecurityTaskId>>,
+}
+
+impl Clone for SecurityTaskSet {
+    fn clone(&self) -> Self {
+        SecurityTaskSet {
+            tasks: self.tasks.clone(),
+            priority_cache: self.priority_cache.clone(),
+        }
+    }
+}
+
+impl PartialEq for SecurityTaskSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks == other.tasks
+    }
 }
 
 impl SecurityTaskSet {
     /// Creates a set from a vector of security tasks.
     #[must_use]
     pub fn new(tasks: Vec<SecurityTask>) -> Self {
-        SecurityTaskSet { tasks }
+        SecurityTaskSet {
+            tasks,
+            priority_cache: std::sync::OnceLock::new(),
+        }
     }
 
     /// Creates an empty set.
     #[must_use]
     pub fn empty() -> Self {
-        SecurityTaskSet { tasks: Vec::new() }
+        SecurityTaskSet::new(Vec::new())
     }
 
     /// Number of tasks.
@@ -331,6 +355,7 @@ impl SecurityTaskSet {
 
     /// Appends a task, returning its id.
     pub fn push(&mut self, task: SecurityTask) -> SecurityTaskId {
+        self.priority_cache.take();
         self.tasks.push(task);
         SecurityTaskId(self.tasks.len() - 1)
     }
@@ -359,20 +384,35 @@ impl SecurityTaskSet {
         (0..self.tasks.len()).map(SecurityTaskId)
     }
 
+    /// The cached priority order: ids from highest to lowest priority
+    /// (ascending `T^max`, ties broken by id). Computed once per set and
+    /// reused by every per-task query.
+    #[must_use]
+    pub fn priority_order(&self) -> &[SecurityTaskId] {
+        self.priority_cache.get_or_init(|| {
+            let mut ids: Vec<SecurityTaskId> = self.ids().collect();
+            ids.sort_by_key(|&id| (self.tasks[id.0].max_period(), id.0));
+            ids
+        })
+    }
+
     /// Ids sorted from highest to lowest priority (ascending `T^max`,
     /// ties broken by id) — the iteration order of HYDRA's outer loop.
     #[must_use]
     pub fn ids_by_priority(&self) -> Vec<SecurityTaskId> {
-        let mut ids: Vec<SecurityTaskId> = self.ids().collect();
-        ids.sort_by_key(|&id| (self.tasks[id.0].max_period(), id.0));
-        ids
+        self.priority_order().to_vec()
     }
 
-    /// Ids of the tasks with strictly higher priority than `id`.
+    /// Ids of the tasks with strictly higher priority than `id`, in priority
+    /// order. O(n) over the cached order — safe to call inside per-task
+    /// loops.
     #[must_use]
     pub fn higher_priority_than(&self, id: SecurityTaskId) -> Vec<SecurityTaskId> {
-        let order = self.ids_by_priority();
-        order.into_iter().take_while(|&other| other != id).collect()
+        self.priority_order()
+            .iter()
+            .copied()
+            .take_while(|&other| other != id)
+            .collect()
     }
 
     /// Total utilisation if every task ran at its desired period (an upper
@@ -399,14 +439,13 @@ impl SecurityTaskSet {
 
 impl FromIterator<SecurityTask> for SecurityTaskSet {
     fn from_iter<I: IntoIterator<Item = SecurityTask>>(iter: I) -> Self {
-        SecurityTaskSet {
-            tasks: iter.into_iter().collect(),
-        }
+        SecurityTaskSet::new(iter.into_iter().collect())
     }
 }
 
 impl Extend<SecurityTask> for SecurityTaskSet {
     fn extend<I: IntoIterator<Item = SecurityTask>>(&mut self, iter: I) {
+        self.priority_cache.take();
         self.tasks.extend(iter);
     }
 }
@@ -532,6 +571,22 @@ mod tests {
             vec![SecurityTaskId(1), SecurityTaskId(2)]
         );
         assert!(set.higher_priority_than(SecurityTaskId(1)).is_empty());
+    }
+
+    #[test]
+    fn priority_cache_is_invalidated_by_mutation() {
+        let mut set: SecurityTaskSet = vec![sec(1, 100, 5000)].into_iter().collect();
+        // Prime the cache, then mutate: a higher-priority task must surface.
+        assert_eq!(set.priority_order(), [SecurityTaskId(0)]);
+        let new_id = set.push(sec(1, 100, 1000));
+        assert_eq!(set.priority_order(), [new_id, SecurityTaskId(0)]);
+        set.extend(vec![sec(1, 100, 500)]);
+        assert_eq!(set.priority_order()[0], SecurityTaskId(2));
+        // Clones answer identically and compare equal regardless of whether
+        // their caches are primed.
+        let clone = set.clone();
+        assert_eq!(clone, set);
+        assert_eq!(clone.priority_order(), set.priority_order());
     }
 
     #[test]

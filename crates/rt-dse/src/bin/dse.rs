@@ -4,16 +4,28 @@
 //! dse sweep --cores 2,4,8 --util-steps 13 --allocators hydra,singlecore,optimal \
 //!           --trials 5 --seed 2018 --threads 0 --out results/dse
 //! dse sweep --workload uav --eval detection --horizon 120 --attacks 200
+//! dse sweep --trials 500 --shard 1/4 --out results/dse     # one of four shards
+//! dse sweep --trials 500 --resume --out results/dse        # continue a killed run
 //! dse list-allocators
 //! ```
 //!
 //! `sweep` expands the requested grid, evaluates it on the parallel
-//! executor, prints the aggregate summary, and writes deterministic
-//! JSONL / CSV / summary files under `--out`.
+//! executor, and **streams** each scenario record to deterministic JSONL /
+//! CSV files under `--out` the moment it is ready — peak memory is bounded
+//! by the worker count and the reorder window, not the grid size. The
+//! aggregate summary is folded online and printed at the end. `--shard i/n`
+//! evaluates one contiguous slice of the grid (concatenating all shard
+//! files reproduces the single-run output byte for byte), and a periodic
+//! checkpoint makes a killed run continuable with `--resume`.
 
+use std::fs;
+use std::io::{BufWriter, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rt_dse::prelude::*;
+use rt_dse::sink::summary_to_csv;
+use rt_dse::{sweep_fingerprint, Checkpoint};
 
 const USAGE: &str = "\
 dse — design-space exploration for security-task allocation
@@ -44,6 +56,19 @@ SWEEP OPTIONS:
     --name NAME           output file stem                  [default: sweep]
     --out DIR             output directory                  [default: results/dse]
     --quiet               suppress the per-group summary table
+
+SCALE-OUT OPTIONS:
+    --shard I/N           evaluate the I-th of N contiguous grid shards; files
+                          are named {name}_shardIofN.* and only shard 1 writes
+                          the CSV header, so concatenating every shard's file
+                          in order is byte-identical to an unsharded run
+    --resume              continue from the checkpoint under --out (a fresh
+                          start when none exists); rejects a checkpoint whose
+                          spec or shard parameters differ
+    --checkpoint-every N  scenarios between checkpoint saves, 0 = disable
+                                                            [default: 256]
+    --stop-after K        checkpoint and exit after evaluating K scenarios
+                          (for time-budgeted runs and resume testing)
 ";
 
 struct Args(Vec<String>);
@@ -80,6 +105,24 @@ impl Args {
                 .collect::<Result<Vec<T>, String>>()
                 .map(Some),
         }
+    }
+
+    fn shard(&self) -> Result<(usize, usize), String> {
+        let Some(raw) = self.value_of("--shard") else {
+            return Ok((1, 1));
+        };
+        let parse = |what: &str, v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid shard {what} in --shard {raw}"))
+        };
+        let (index, count) = raw
+            .split_once('/')
+            .ok_or_else(|| format!("--shard expects I/N, got {raw}"))?;
+        let (index, count) = (parse("index", index)?, parse("count", count)?);
+        if count == 0 || index == 0 || index > count {
+            return Err(format!("--shard requires 1 <= I <= N, got {raw}"));
+        }
+        Ok((index, count))
     }
 }
 
@@ -194,6 +237,104 @@ fn print_summary(rows: &[rt_dse::AggregateRow]) {
     }
 }
 
+/// The CLI's streaming sink: tees each outcome to the JSONL and CSV files,
+/// folds it into the running aggregate, and periodically persists an atomic
+/// checkpoint so a killed run resumes where its output files actually end.
+struct CheckpointingSink {
+    jsonl: JsonlSink<BufWriter<fs::File>>,
+    csv: CsvSink<BufWriter<fs::File>>,
+    /// File bytes already present before this process appended anything.
+    jsonl_base: u64,
+    csv_base: u64,
+    /// Aggregate over everything durably written (restored prefix included).
+    agg: SweepAccumulator,
+    /// Absolute grid index where this shard begins (the aggregate's origin).
+    origin: usize,
+    /// Absolute grid index of the next scenario to stream.
+    completed: usize,
+    since_save: usize,
+    every: usize,
+    fingerprint: u64,
+    path: PathBuf,
+}
+
+impl CheckpointingSink {
+    fn save_checkpoint(&mut self) -> std::io::Result<()> {
+        // The checkpoint claims its byte offsets are *durable*: flush the
+        // buffers and fsync the data before the (also fsynced) checkpoint
+        // rename, so a power loss can never leave the checkpoint ahead of
+        // the output files it describes.
+        self.jsonl.get_mut().flush()?;
+        self.jsonl.get_mut().get_ref().sync_data()?;
+        self.csv.get_mut().flush()?;
+        self.csv.get_mut().get_ref().sync_data()?;
+        Checkpoint {
+            fingerprint: self.fingerprint,
+            start: self.origin,
+            completed: self.completed,
+            jsonl_bytes: self.jsonl_base + self.jsonl.bytes_written(),
+            csv_bytes: self.csv_base + self.csv.bytes_written(),
+            agg: self.agg.clone(),
+        }
+        .save(&self.path)?;
+        self.since_save = 0;
+        Ok(())
+    }
+}
+
+impl OutcomeSink for CheckpointingSink {
+    fn record(&mut self, outcome: &ScenarioOutcome) -> std::io::Result<()> {
+        self.jsonl.record(outcome)?;
+        self.csv.record(outcome)?;
+        self.agg.record(outcome);
+        self.completed += 1;
+        self.since_save += 1;
+        // Each save re-renders the whole accumulated aggregate (it grows
+        // with progress) and fsyncs, inside the executor's drain — so the
+        // interval stretches with coverage (≥ 1/8 of the records covered so
+        // far) to keep total checkpoint I/O linear in the sweep instead of
+        // quadratic, while small sweeps still save every `every` records.
+        let threshold = self.every.max((self.completed - self.origin) / 8);
+        if self.every > 0 && self.since_save >= threshold {
+            self.save_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.jsonl.finish()?;
+        self.csv.finish()
+    }
+}
+
+/// Opens an output file for appending at exactly `keep` bytes: anything a
+/// crashed run wrote past the last checkpoint (e.g. a torn JSONL line) is
+/// truncated away so the resumed stream continues byte-exactly.
+fn open_resumable(path: &Path, keep: u64) -> Result<fs::File, String> {
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let len = file
+        .metadata()
+        .map_err(|e| format!("cannot stat {}: {e}", path.display()))?
+        .len();
+    if len < keep {
+        return Err(format!(
+            "{} is {len} bytes but the checkpoint covers {keep}; the output was \
+             modified since the checkpoint — delete the checkpoint to start over",
+            path.display()
+        ));
+    }
+    file.set_len(keep)
+        .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+    file.seek(SeekFrom::End(0))
+        .map_err(|e| format!("cannot seek {}: {e}", path.display()))?;
+    Ok(file)
+}
+
 fn run_sweep(args: &Args) -> Result<(), String> {
     let spec = build_spec(args)?;
     let executor = if args.flag("--serial") {
@@ -201,44 +342,153 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     } else {
         Executor::with_threads(args.parsed("--threads")?.unwrap_or(0))
     };
+    let shard = args.shard()?;
+    let resume = args.flag("--resume");
+    let checkpoint_every: usize = args.parsed("--checkpoint-every")?.unwrap_or(256);
+    let stop_after: Option<usize> = args.parsed("--stop-after")?;
 
-    // The executor expands the grid itself; the evaluated count is reported
-    // afterwards rather than paying a second expansion just to preview it.
+    let grid_len = ScenarioGrid::expand(&spec).len();
+    let range = shard_range(grid_len, shard.0, shard.1);
+    let fingerprint = sweep_fingerprint(&spec, shard);
+
+    let out_dir = PathBuf::from(args.value_of("--out").unwrap_or("results/dse"));
+    fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("could not create {}: {e}", out_dir.display()))?;
+    let stem = if shard.1 > 1 {
+        format!("{}_shard{}of{}", spec.name, shard.0, shard.1)
+    } else {
+        spec.name.clone()
+    };
+    let jsonl_path = out_dir.join(format!("{stem}.jsonl"));
+    let csv_path = out_dir.join(format!("{stem}.csv"));
+    let summary_path = out_dir.join(format!("{stem}_summary.csv"));
+    let ckpt_path = out_dir.join(format!("{stem}.ckpt"));
+
+    // A checkpoint resumes only the sweep that wrote it.
+    let restored = if resume {
+        let found = Checkpoint::load(&ckpt_path)
+            .map_err(|e| format!("cannot load {}: {e}", ckpt_path.display()))?;
+        if let Some(ckpt) = &found {
+            if ckpt.fingerprint != fingerprint {
+                return Err(format!(
+                    "{} belongs to a different sweep (spec or shard changed); \
+                     delete it or rerun without --resume",
+                    ckpt_path.display()
+                ));
+            }
+            if ckpt.start != range.start || ckpt.completed > range.end {
+                return Err(format!(
+                    "{} records progress {}..{} outside this shard's range {}..{}",
+                    ckpt_path.display(),
+                    ckpt.start,
+                    ckpt.completed,
+                    range.start,
+                    range.end
+                ));
+            }
+        }
+        found
+    } else {
+        None
+    };
+
+    let start = restored.as_ref().map_or(range.start, |c| c.completed);
+    let end = stop_after.map_or(range.end, |k| range.end.min(start.saturating_add(k)));
+    let (jsonl_base, csv_base, agg) = match restored {
+        Some(ckpt) => (ckpt.jsonl_bytes, ckpt.csv_bytes, ckpt.agg),
+        None => (0, 0, SweepAccumulator::new()),
+    };
+    let jsonl_file = open_resumable(&jsonl_path, jsonl_base)?;
+    let csv_file = open_resumable(&csv_path, csv_base)?;
+
+    let mut sink = CheckpointingSink {
+        jsonl: JsonlSink::new(BufWriter::new(jsonl_file)),
+        // Only shard 1 writes the CSV header, and only while its file is
+        // still empty — a resumed run whose checkpoint already covers the
+        // header (e.g. one that stopped before its first record) must not
+        // emit it twice, or concatenation stops being exact.
+        csv: CsvSink::new(BufWriter::new(csv_file), shard.0 == 1 && csv_base == 0),
+        jsonl_base,
+        csv_base,
+        agg,
+        origin: range.start,
+        completed: start,
+        since_save: 0,
+        every: checkpoint_every,
+        fingerprint,
+        path: ckpt_path.clone(),
+    };
+
     eprintln!(
-        "sweeping \"{}\": {} cores × {} allocators, {} trials/point",
+        "sweeping \"{}\": {} of {} scenarios (grid indices {}..{}, shard {}/{}) on \
+         {} cores × {} allocators, {} trials/point",
         spec.name,
+        end - start,
+        grid_len,
+        start,
+        end,
+        shard.0,
+        shard.1,
         spec.cores.len(),
         spec.allocators.len(),
         spec.trials
     );
 
-    let result = executor.run(&spec);
-    let rows = aggregate(&result.outcomes);
+    let summary = executor
+        .run_streaming_range(&spec, start..end, &mut sink)
+        .map_err(|e| format!("sweep aborted: {e}"))?;
+
+    let throughput = summary
+        .scenarios_per_sec()
+        .map_or_else(|| "-".to_owned(), |r| format!("{r:.0}"));
+    eprintln!(
+        "evaluated {} scenarios on {} threads in {:.2?} ({} scenarios/s)",
+        summary.evaluated(),
+        summary.threads,
+        summary.elapsed,
+        throughput
+    );
+    let memo = summary.memo;
+    eprintln!(
+        "memo: {} problems generated, {} reused; {} partitions computed, {} reused; \
+         {} feasibility checks, {} reused",
+        memo.problem_misses,
+        memo.problem_hits,
+        memo.partition_misses,
+        memo.partition_hits,
+        memo.feasibility_misses,
+        memo.feasibility_hits
+    );
+
+    if end < range.end {
+        // Stopped early on purpose: leave a checkpoint behind instead of a
+        // summary, and tell the operator how to continue.
+        sink.save_checkpoint()
+            .map_err(|e| format!("could not write {}: {e}", ckpt_path.display()))?;
+        eprintln!(
+            "stopped after {} scenarios ({} remain); continue with --resume",
+            end - start,
+            range.end - end
+        );
+        return Ok(());
+    }
+
+    let rows = sink.agg.rows();
     if !args.flag("--quiet") {
         print_summary(&rows);
     }
-
-    let out_dir = args.value_of("--out").unwrap_or("results/dse");
-    let files = write_outputs(out_dir, &spec.name, &result.outcomes, &rows)
-        .map_err(|e| format!("could not write outputs to {out_dir}: {e}"))?;
-
-    eprintln!(
-        "evaluated {} scenarios on {} threads in {:.2?} ({:.0} scenarios/s)",
-        result.outcomes.len(),
-        result.threads,
-        result.elapsed,
-        result.scenarios_per_sec()
-    );
-    let memo = result.memo;
-    eprintln!(
-        "memo: {} problems generated, {} reused; {} feasibility checks, {} reused",
-        memo.problem_misses, memo.problem_hits, memo.feasibility_misses, memo.feasibility_hits
-    );
+    fs::write(&summary_path, summary_to_csv(&rows))
+        .map_err(|e| format!("could not write {}: {e}", summary_path.display()))?;
+    // The shard is complete — the checkpoint has served its purpose.
+    if ckpt_path.exists() {
+        fs::remove_file(&ckpt_path)
+            .map_err(|e| format!("could not remove {}: {e}", ckpt_path.display()))?;
+    }
     eprintln!(
         "wrote {}, {}, {}",
-        files.jsonl.display(),
-        files.csv.display(),
-        files.summary.display()
+        jsonl_path.display(),
+        csv_path.display(),
+        summary_path.display()
     );
     Ok(())
 }

@@ -12,14 +12,23 @@
 //!   deterministic per-point seed addresses,
 //! * [`Executor`](exec::Executor) — a self-balancing worker pool (scoped
 //!   threads pulling from a shared cursor) whose results are independent of
-//!   thread count and evaluation order,
+//!   thread count and evaluation order; the streaming entry points feed an
+//!   [`OutcomeSink`](sink::OutcomeSink) in grid order through a reorder
+//!   buffer, so memory stays O(threads + reorder window) instead of O(grid),
 //! * [`MemoCache`](memo::MemoCache) — cross-scenario caching of generated
-//!   problems and Eq. (1) feasibility verdicts keyed by
-//!   `(task-set hash, cores)`,
-//! * [`aggregate`](agg::aggregate) / [`paired_comparison`](agg::paired_comparison)
-//!   — acceptance-ratio and tightness summaries (mean / p50 / p99), plus the
-//!   paired HYDRA-vs-Optimal gap of Figure 3,
-//! * [`sink`] — byte-deterministic JSONL / CSV / summary renderings.
+//!   problems, Eq. (1) feasibility verdicts and real-time partitions keyed
+//!   by `(task-set hash, cores, config)`, so the allocator axis never
+//!   re-partitions the same task set,
+//! * [`SweepAccumulator`](agg::SweepAccumulator) /
+//!   [`PairedSink`](agg::PairedSink) — online acceptance-ratio and tightness
+//!   summaries (mean / p50 / p99) plus the paired HYDRA-vs-Optimal gap of
+//!   Figure 3, built from per-worker partials merged at the end — no
+//!   retained outcome vector,
+//! * [`sink`] — byte-deterministic streaming JSONL / CSV / summary sinks,
+//! * [`shard_range`](exec::shard_range) /
+//!   [`Checkpoint`](checkpoint::Checkpoint) — contiguous grid shards and
+//!   killed-run resume whose concatenated outputs are byte-identical to a
+//!   single full run (every scenario owns a deterministic seed address).
 //!
 //! The `dse` binary exposes all of it on the command line; the
 //! `hydra-bench` figure drivers are thin [`ScenarioSpec`](spec::ScenarioSpec)
@@ -47,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agg;
+pub mod checkpoint;
 pub mod exec;
 pub mod grid;
 pub mod memo;
@@ -54,12 +64,16 @@ pub mod scenario;
 pub mod sink;
 pub mod spec;
 
-pub use agg::{aggregate, paired_comparison, AggregateRow, PairedPoint};
-pub use exec::{Executor, SweepResult};
+pub use agg::{
+    aggregate, paired_comparison, AggregateRow, PairedPoint, PairedSink, SweepAccumulator,
+};
+pub use checkpoint::{sweep_fingerprint, Checkpoint};
+pub use exec::{shard_range, Executor, StreamSummary, SweepResult};
 pub use grid::ScenarioGrid;
-pub use memo::{hash_taskset, MemoCache, MemoStats, ProblemKey};
+pub use memo::{hash_taskset, MemoCache, MemoStats, PartitionKey, ProblemKey, SharedPartition};
 pub use rt_core::Time;
 pub use scenario::{DetectionStats, Scenario, ScenarioOutcome};
+pub use sink::{CsvSink, JsonlSink, NullSink, OutcomeSink, TeeSink, VecSink};
 pub use spec::{
     AllocatorKind, Evaluation, Expansion, ScenarioSpec, SyntheticOverrides, UtilizationGrid,
     Workload,
@@ -67,11 +81,13 @@ pub use spec::{
 
 /// Convenience re-exports for sweep definitions.
 pub mod prelude {
-    pub use crate::agg::{aggregate, paired_comparison};
-    pub use crate::exec::{Executor, SweepResult};
+    pub use crate::agg::{aggregate, paired_comparison, PairedSink, SweepAccumulator};
+    pub use crate::exec::{shard_range, Executor, StreamSummary, SweepResult};
     pub use crate::grid::ScenarioGrid;
     pub use crate::scenario::{Scenario, ScenarioOutcome};
-    pub use crate::sink::{to_csv, to_jsonl, write_outputs};
+    pub use crate::sink::{
+        to_csv, to_jsonl, write_outputs, CsvSink, JsonlSink, NullSink, OutcomeSink, VecSink,
+    };
     pub use crate::spec::{
         AllocatorKind, Evaluation, Expansion, ScenarioSpec, SyntheticOverrides, UtilizationGrid,
         Workload,

@@ -1,13 +1,18 @@
 //! Cross-scenario memoization.
 //!
-//! Two scenario points frequently share expensive intermediate work:
+//! Three scenario points frequently share expensive intermediate work:
 //!
 //! * scenarios differing only in the **allocator** axis share the identical
 //!   generated problem (same seed-stream address), so task-set generation
 //!   runs once per address, not once per scheme;
 //! * the Eq. (1) **necessary-condition** filter depends only on the
 //!   real-time task set and the core count, so its verdict is cached keyed
-//!   by `(task-set hash, cores)`.
+//!   by `(task-set hash, cores)`;
+//! * the real-time **partition** depends only on `(task set, core count,
+//!   partitioning config)` — every scheme sweeping the same problem reuses
+//!   it instead of re-running `partition_tasks` per axis point (the
+//!   SingleCore scheme shares the `M − 1`-core partition under the same
+//!   key family).
 //!
 //! The cache is sharded to keep lock contention negligible under the
 //! work-stealing executor; every entry is immutable once inserted (`Arc`ed
@@ -18,7 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hydra_core::AllocationProblem;
-use rt_core::TaskSet;
+use rt_core::{TaskId, TaskSet};
+use rt_partition::{Partition, PartitionConfig};
 
 const SHARDS: usize = 32;
 
@@ -37,6 +43,20 @@ pub struct ProblemKey {
     /// Fingerprint of generator overrides (different overrides generate
     /// different problems from the same address).
     pub config_fingerprint: u64,
+}
+
+/// Identifies one real-time partitioning result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionKey {
+    /// Structural fingerprint of the real-time task set
+    /// (see [`hash_taskset`]).
+    pub taskset_hash: u64,
+    /// Number of cores the partition targets (for the SingleCore scheme this
+    /// is `M − 1`, so the entry is exactly what a smaller platform would
+    /// compute and share).
+    pub cores: usize,
+    /// The partitioning policy.
+    pub config: PartitionConfig,
 }
 
 /// FNV-1a over the timing parameters of a real-time task set: a stable
@@ -70,17 +90,29 @@ pub struct MemoStats {
     pub feasibility_hits: u64,
     /// Feasibility-cache misses.
     pub feasibility_misses: u64,
+    /// Partition-cache hits (a `partition_tasks` run elided).
+    pub partition_hits: u64,
+    /// Partition-cache misses — one per unique `(task set, cores, config)`
+    /// key, **not** per scenario.
+    pub partition_misses: u64,
 }
+
+/// A cached partitioning result: the partition, or the task that could not
+/// be placed (failures cache too).
+pub type SharedPartition = Arc<Result<Partition, TaskId>>;
 
 /// The shared memoization cache of one sweep execution.
 #[derive(Debug, Default)]
 pub struct MemoCache {
     problems: Vec<Mutex<HashMap<ProblemKey, Arc<AllocationProblem>>>>,
     feasibility: Vec<Mutex<HashMap<(u64, usize), bool>>>,
+    partitions: Vec<Mutex<HashMap<PartitionKey, SharedPartition>>>,
     problem_hits: AtomicU64,
     problem_misses: AtomicU64,
     feasibility_hits: AtomicU64,
     feasibility_misses: AtomicU64,
+    partition_hits: AtomicU64,
+    partition_misses: AtomicU64,
 }
 
 impl MemoCache {
@@ -90,10 +122,13 @@ impl MemoCache {
         MemoCache {
             problems: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             feasibility: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            partitions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             problem_hits: AtomicU64::new(0),
             problem_misses: AtomicU64::new(0),
             feasibility_hits: AtomicU64::new(0),
             feasibility_misses: AtomicU64::new(0),
+            partition_hits: AtomicU64::new(0),
+            partition_misses: AtomicU64::new(0),
         }
     }
 
@@ -150,6 +185,31 @@ impl MemoCache {
         verdict
     }
 
+    /// Returns the cached real-time partition for `key`, computing it with
+    /// `build` on a miss. Failures (the task that could not be placed) are
+    /// cached too — an unpartitionable task set fails once, not once per
+    /// scheme. Like [`MemoCache::problem`], the lock is not held while
+    /// `build` runs, so racing builders of the same key may both run the
+    /// deterministic heuristic and either result wins.
+    pub fn partition(
+        &self,
+        key: PartitionKey,
+        build: impl FnOnce() -> Result<Partition, TaskId>,
+    ) -> SharedPartition {
+        let shard = &self.partitions[Self::shard_of(
+            key.taskset_hash
+                .wrapping_add((key.cores as u64).rotate_left(24)),
+        )];
+        if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
+            self.partition_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.partition_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut guard = shard.lock().expect("memo shard poisoned");
+        Arc::clone(guard.entry(key).or_insert(built))
+    }
+
     /// Snapshot of the hit/miss counters.
     #[must_use]
     pub fn stats(&self) -> MemoStats {
@@ -158,6 +218,8 @@ impl MemoCache {
             problem_misses: self.problem_misses.load(Ordering::Relaxed),
             feasibility_hits: self.feasibility_hits.load(Ordering::Relaxed),
             feasibility_misses: self.feasibility_misses.load(Ordering::Relaxed),
+            partition_hits: self.partition_hits.load(Ordering::Relaxed),
+            partition_misses: self.partition_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,6 +284,45 @@ mod tests {
         // Different cores: a fresh verdict.
         let _ = cache.feasibility(99, 4, || false);
         assert_eq!(cache.stats().feasibility_misses, 2);
+    }
+
+    #[test]
+    fn partitions_are_cached_including_failures() {
+        let cache = MemoCache::new();
+        let key = PartitionKey {
+            taskset_hash: 42,
+            cores: 2,
+            config: PartitionConfig::paper_default(),
+        };
+        let mut calls = 0;
+        for _ in 0..3 {
+            let p = cache.partition(key, || {
+                calls += 1;
+                Ok(Partition::new(4, 2))
+            });
+            assert!(p.is_ok());
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().partition_misses, 1);
+        assert_eq!(cache.stats().partition_hits, 2);
+        // A different core count is a different entry; failures cache too.
+        let failing = PartitionKey { cores: 1, ..key };
+        for _ in 0..2 {
+            let p = cache.partition(failing, || Err(TaskId(3)));
+            assert_eq!(*p, Err(TaskId(3)));
+        }
+        assert_eq!(cache.stats().partition_misses, 2);
+        assert_eq!(cache.stats().partition_hits, 3);
+        // A different config is a different entry.
+        let other_config = PartitionKey {
+            config: PartitionConfig::new(
+                rt_partition::Heuristic::WorstFit,
+                rt_partition::AdmissionTest::ResponseTime,
+            ),
+            ..key
+        };
+        let _ = cache.partition(other_config, || Ok(Partition::new(4, 2)));
+        assert_eq!(cache.stats().partition_misses, 3);
     }
 
     #[test]

@@ -27,23 +27,65 @@ pub struct Scenario {
 
 /// Detection-latency statistics from a [`crate::spec::Evaluation::Detection`]
 /// scenario.
+///
+/// The latency summaries are `None` when **no** attack was detected within
+/// the horizon — a run that detects nothing must stay distinguishable from a
+/// run that detects instantly, so these serialize as `null` (JSONL) / empty
+/// (CSV) rather than `0.0`. Undetected attacks are counted explicitly in
+/// [`DetectionStats::missed`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionStats {
     /// Number of injected attacks.
     pub injected: usize,
     /// Number detected before the horizon.
     pub detected: usize,
-    /// Mean detection latency in milliseconds.
-    pub mean_ms: f64,
-    /// Median detection latency in milliseconds.
-    pub median_ms: f64,
-    /// 95th-percentile detection latency in milliseconds.
-    pub p95_ms: f64,
-    /// Worst observed detection latency in milliseconds.
-    pub max_ms: f64,
+    /// Number of injected attacks that were **not** detected before the
+    /// horizon (`injected − detected`).
+    pub missed: usize,
+    /// Mean detection latency in milliseconds (`None` if nothing was
+    /// detected).
+    pub mean_ms: Option<f64>,
+    /// Median detection latency in milliseconds (`None` if nothing was
+    /// detected).
+    pub median_ms: Option<f64>,
+    /// 95th-percentile detection latency in milliseconds (`None` if nothing
+    /// was detected).
+    pub p95_ms: Option<f64>,
+    /// Worst observed detection latency in milliseconds (`None` if nothing
+    /// was detected).
+    pub max_ms: Option<f64>,
     /// The raw latency samples (sorted ascending), so downstream reporting
     /// can rebuild the full empirical CDF.
     pub latencies_ms: Vec<f64>,
+}
+
+impl DetectionStats {
+    /// Builds the statistics from ascending-sorted latency samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more latencies than injected attacks are supplied.
+    #[must_use]
+    pub fn from_sorted_latencies(injected: usize, latencies_ms: Vec<f64>) -> Self {
+        use hydra_core::metrics::{mean, percentile_sorted};
+        debug_assert!(latencies_ms.windows(2).all(|w| w[0] <= w[1]));
+        let detected = latencies_ms.len();
+        assert!(
+            detected <= injected,
+            "more detections ({detected}) than injected attacks ({injected})"
+        );
+        let nonempty = detected > 0;
+        DetectionStats {
+            injected,
+            detected,
+            missed: injected - detected,
+            mean_ms: nonempty.then(|| mean(&latencies_ms)),
+            median_ms: nonempty.then(|| percentile_sorted(&latencies_ms, 50.0)),
+            p95_ms: nonempty.then(|| percentile_sorted(&latencies_ms, 95.0)),
+            max_ms: latencies_ms.last().copied(),
+            latencies_ms,
+        }
+    }
 }
 
 /// The result of evaluating one [`Scenario`].
@@ -103,6 +145,31 @@ impl ScenarioOutcome {
 mod tests {
     use super::*;
     use crate::spec::AllocatorKind;
+
+    #[test]
+    fn zero_detections_report_null_latency_stats() {
+        // Regression: `detected == 0` used to report mean/median/p95 of 0.0,
+        // indistinguishable from instant detection.
+        let stats = DetectionStats::from_sorted_latencies(7, Vec::new());
+        assert_eq!(stats.injected, 7);
+        assert_eq!(stats.detected, 0);
+        assert_eq!(stats.missed, 7);
+        assert_eq!(stats.mean_ms, None);
+        assert_eq!(stats.median_ms, None);
+        assert_eq!(stats.p95_ms, None);
+        assert_eq!(stats.max_ms, None);
+    }
+
+    #[test]
+    fn detection_stats_summarize_sorted_latencies() {
+        let stats = DetectionStats::from_sorted_latencies(5, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.detected, 4);
+        assert_eq!(stats.missed, 1);
+        assert_eq!(stats.mean_ms, Some(2.5));
+        assert_eq!(stats.median_ms, Some(2.5));
+        assert_eq!(stats.max_ms, Some(4.0));
+        assert!(stats.p95_ms.unwrap() > stats.median_ms.unwrap());
+    }
 
     #[test]
     fn infeasible_outcomes_are_marked_unschedulable() {

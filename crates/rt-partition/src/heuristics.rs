@@ -48,7 +48,10 @@ pub enum TaskOrdering {
 
 /// Configuration of a partitioning run: heuristic, admission test and task
 /// ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Implements `Hash` so memoization layers can key partition results by
+/// `(task set, cores, config)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PartitionConfig {
     /// Core-selection heuristic.

@@ -66,14 +66,18 @@ fn main() {
     }
     println!();
     println!(
-        "Evaluated {} scenarios in {:.2?} ({:.0}/s) on {} thread(s); the engine \
-         generated {} task sets and reused each across all three schemes ({} cache hits).",
+        "Evaluated {} scenarios in {:.2?} ({}/s) on {} thread(s); the engine \
+         generated {} task sets and reused each across all three schemes ({} cache hits, \
+         {} partitions reused).",
         result.outcomes.len(),
         result.elapsed,
-        result.scenarios_per_sec(),
+        result
+            .scenarios_per_sec()
+            .map_or_else(|| "-".to_owned(), |r| format!("{r:.0}")),
         result.threads,
         result.memo.problem_misses,
         result.memo.problem_hits,
+        result.memo.partition_hits,
     );
     println!();
     println!(

@@ -5,10 +5,13 @@
 //!   JSONL output,
 //! * parallel and serial execution produce identical outcomes and therefore
 //!   identical aggregates,
-//! * changing the seed changes the results (the guarantee is not vacuous).
+//! * changing the seed changes the results (the guarantee is not vacuous),
+//! * sharded (`--shard i/n`-style range) runs and killed-then-resumed runs
+//!   concatenate to the **byte-identical** single-process stream at any
+//!   thread count.
 
-use hydra_repro::dse::prelude::*;
 use hydra_repro::dse::sink::summary_to_csv;
+use hydra_repro::dse::{prelude::*, TeeSink};
 use proptest::prelude::*;
 
 /// A small randomly-parameterised sweep spec: the property tests quantify
@@ -102,6 +105,130 @@ fn sampled_expansion_is_deterministic_across_thread_counts() {
     let parallel = Executor::with_threads(3).run(&spec);
     assert_eq!(serial.outcomes.len(), 20);
     assert_eq!(to_jsonl(&serial.outcomes), to_jsonl(&parallel.outcomes));
+}
+
+/// Streams `range` of `spec` into fresh JSONL/CSV buffers and appends them
+/// to `jsonl`/`csv`; `first` controls the CSV header (only the first slice
+/// of a split run carries it).
+fn stream_range_into(
+    spec: &ScenarioSpec,
+    threads: usize,
+    range: std::ops::Range<usize>,
+    first: bool,
+    jsonl: &mut Vec<u8>,
+    csv: &mut Vec<u8>,
+) {
+    let mut jsonl_sink = JsonlSink::new(Vec::new());
+    let mut csv_sink = CsvSink::new(Vec::new(), first);
+    let mut tee = TeeSink::new().with(&mut jsonl_sink).with(&mut csv_sink);
+    Executor::with_threads(threads)
+        .run_streaming_range(spec, range, &mut tee)
+        .expect("in-memory sinks never fail");
+    jsonl.extend(jsonl_sink.into_inner());
+    csv.extend(csv_sink.into_inner());
+}
+
+#[test]
+fn shard_streams_concatenate_to_the_full_run_at_any_thread_count() {
+    let mut spec = ScenarioSpec::synthetic("sharded");
+    spec.cores = vec![2, 4];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(3);
+    spec.allocators = vec![
+        AllocatorKind::Hydra,
+        AllocatorKind::SingleCore,
+        AllocatorKind::NpHydra,
+    ];
+    spec.trials = 2;
+    let full = Executor::serial().run(&spec);
+    let (full_jsonl, full_csv) = (to_jsonl(&full.outcomes), to_csv(&full.outcomes));
+    let n = full.outcomes.len();
+    assert_eq!(n, 36);
+    for threads in [1usize, 3] {
+        for count in [2usize, 5] {
+            let mut jsonl = Vec::new();
+            let mut csv = Vec::new();
+            for index in 1..=count {
+                let range = shard_range(n, index, count);
+                stream_range_into(&spec, threads, range, index == 1, &mut jsonl, &mut csv);
+            }
+            assert_eq!(
+                String::from_utf8(jsonl).unwrap(),
+                full_jsonl,
+                "{count} shards on {threads} threads (JSONL)"
+            );
+            assert_eq!(
+                String::from_utf8(csv).unwrap(),
+                full_csv,
+                "{count} shards on {threads} threads (CSV)"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_killed_and_resumed_run_is_byte_identical_to_one_full_sweep() {
+    // A resume is a range run continuing where the durable prefix ended —
+    // model a kill at several awkward cut points, including inside a shard.
+    let mut spec = ScenarioSpec::synthetic("resumed");
+    spec.cores = vec![2];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(4);
+    spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+    spec.trials = 3;
+    let full = Executor::serial().run(&spec);
+    let (full_jsonl, full_csv) = (to_jsonl(&full.outcomes), to_csv(&full.outcomes));
+    let n = full.outcomes.len();
+    for cut in [1usize, n / 3 + 1, n - 1] {
+        let mut jsonl = Vec::new();
+        let mut csv = Vec::new();
+        stream_range_into(&spec, 2, 0..cut, true, &mut jsonl, &mut csv);
+        stream_range_into(&spec, 4, cut..n, false, &mut jsonl, &mut csv);
+        assert_eq!(
+            String::from_utf8(jsonl).unwrap(),
+            full_jsonl,
+            "resume after {cut} (JSONL)"
+        );
+        assert_eq!(
+            String::from_utf8(csv).unwrap(),
+            full_csv,
+            "resume after {cut} (CSV)"
+        );
+    }
+}
+
+#[test]
+fn streaming_partial_aggregates_match_the_buffered_summary() {
+    let mut spec = ScenarioSpec::synthetic("online-agg");
+    spec.cores = vec![2, 4];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(3);
+    spec.trials = 3;
+    let buffered = Executor::serial().run(&spec);
+    let summary = Executor::with_threads(4)
+        .run_streaming(&spec, &mut NullSink)
+        .unwrap();
+    assert_eq!(summary.partial.rows(), aggregate(&buffered.outcomes));
+    assert_eq!(
+        summary_to_csv(&summary.partial.rows()),
+        summary_to_csv(&aggregate(&buffered.outcomes))
+    );
+}
+
+#[test]
+fn detection_stats_distinguish_silence_from_instant_detection() {
+    // Regression: zero detections must surface as None/missed, never 0.0 ms.
+    let mut spec = ScenarioSpec::uav_detection("uav-miss", 20, 15);
+    spec.cores = vec![2];
+    let result = Executor::serial().run(&spec);
+    for outcome in &result.outcomes {
+        let d = outcome.detection.as_ref().unwrap();
+        assert_eq!(d.injected, d.detected + d.missed);
+        assert_eq!(d.detected == 0, d.mean_ms.is_none());
+        assert_eq!(d.detected == 0, d.median_ms.is_none());
+        assert_eq!(d.detected == 0, d.p95_ms.is_none());
+        assert_eq!(d.detected == 0, d.max_ms.is_none());
+        if let Some(mean) = d.mean_ms {
+            assert!(mean.is_finite() && mean > 0.0);
+        }
+    }
 }
 
 #[test]

@@ -1,8 +1,20 @@
 //! Criterion bench: throughput of the `rt-dse` sweep engine (scenarios per
 //! second), serial vs multi-threaded, the buffered-vs-streaming output path,
 //! plus the marginal cost of the memoization layer's sharing across the
-//! allocator axis. This seeds the performance trajectory for the sweep
-//! engine (`BENCH_*.json`).
+//! allocator axis.
+//!
+//! The final group is the **CI bench gate**: a quick fixed-size sweep over
+//! the full axis set (allocators × period policies) whose throughput is
+//! written to a machine-readable `BENCH_sweep.json` (scenarios/sec, peak
+//! RSS, grid size, git SHA) and compared against the checked-in baseline in
+//! `crates/bench/bench_baselines/dse_sweep.json`. A >25 % regression fails
+//! the bench run (and therefore CI). Environment knobs:
+//!
+//! * `BENCH_SWEEP_JSON` — output path (default `<workspace>/BENCH_sweep.json`),
+//! * `BENCH_GATE_SKIP=1` — emit the JSON but skip the regression assertion
+//!   (for debugging on known-slow machines).
+
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_dse::prelude::*;
@@ -100,8 +112,130 @@ fn bench_memoized_vs_fresh_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fixed workload the CI gate times: the mid-sized sweep extended with
+/// the full period-policy axis, so a regression on any axis of the engine
+/// (generation, allocation, policy passes, sinks) moves the number.
+fn gate_spec() -> ScenarioSpec {
+    let mut spec = sweep_spec();
+    spec.period_policies = vec![
+        PeriodPolicy::Fixed,
+        PeriodPolicy::Adapt,
+        PeriodPolicy::Joint,
+    ];
+    spec
+}
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD` locally.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        return sha;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Extracts `"key": <number>` from a flat JSON document — enough to read the
+/// checked-in baseline without a JSON dependency.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The CI throughput gate. Times the fixed gate workload, emits
+/// `BENCH_sweep.json`, and fails on a >25 % scenarios/sec regression
+/// against the checked-in baseline.
+fn bench_gate(_c: &mut Criterion) {
+    let workspace = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let spec = gate_spec();
+    let grid_size = ScenarioGrid::expand(&spec).len();
+    let threads = 2usize;
+    let executor = Executor::with_threads(threads);
+
+    // Warm-up once (page in, prime allocator), then time whole-sweep
+    // repetitions until at least ~0.6 s of work has been measured.
+    let _ = executor.run(std::hint::black_box(&spec));
+    let mut evaluated = 0usize;
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_millis(600) {
+        let result = executor.run(std::hint::black_box(&spec));
+        evaluated += result.outcomes.len();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let scenarios_per_sec = evaluated as f64 / elapsed;
+
+    let baseline_path = format!("{workspace}/crates/bench/bench_baselines/dse_sweep.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| json_number(&text, "scenarios_per_sec"));
+    let floor = baseline.map(|b| b * 0.75);
+    let pass = floor.is_none_or(|f| scenarios_per_sec >= f);
+
+    let json = format!(
+        "{{\n  \"bench\": \"dse_sweep\",\n  \"git_sha\": \"{}\",\n  \"grid_size\": {},\n  \
+         \"threads\": {},\n  \"scenarios_evaluated\": {},\n  \"elapsed_secs\": {:.3},\n  \
+         \"scenarios_per_sec\": {:.1},\n  \"peak_rss_bytes\": {},\n  \
+         \"baseline_scenarios_per_sec\": {},\n  \"gate_floor_scenarios_per_sec\": {},\n  \
+         \"gate\": \"{}\"\n}}\n",
+        git_sha(),
+        grid_size,
+        threads,
+        evaluated,
+        elapsed,
+        scenarios_per_sec,
+        peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string()),
+        baseline.map_or_else(|| "null".to_owned(), |b| format!("{b:.1}")),
+        floor.map_or_else(|| "null".to_owned(), |f| format!("{f:.1}")),
+        if pass { "pass" } else { "fail" },
+    );
+    let out_path = std::env::var("BENCH_SWEEP_JSON")
+        .unwrap_or_else(|_| format!("{workspace}/BENCH_sweep.json"));
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    println!(
+        "bench_gate: {scenarios_per_sec:.0} scenarios/s over {grid_size}-point grid -> {out_path}"
+    );
+
+    if std::env::var("BENCH_GATE_SKIP").is_ok() {
+        println!("bench_gate: BENCH_GATE_SKIP set, not enforcing the baseline");
+        return;
+    }
+    match (baseline, floor) {
+        (Some(baseline), Some(floor)) => {
+            assert!(
+                pass,
+                "dse_sweep throughput regressed by more than 25 %: \
+                 {scenarios_per_sec:.0} scenarios/s vs baseline {baseline:.0} \
+                 (floor {floor:.0}); see {out_path}"
+            );
+        }
+        _ => println!("bench_gate: no baseline at {baseline_path}, gate not enforced"),
+    }
+}
+
 criterion_group!(
     benches,
+    // The gate runs first so its VmHWM peak-RSS record reflects the gate
+    // workload, not the buffered outcome vectors of the groups below.
+    bench_gate,
     bench_sweep_throughput,
     bench_streaming_vs_buffered,
     bench_grid_expansion,

@@ -77,6 +77,7 @@ impl Fig1Config {
             cores: self.cores.clone(),
             utilizations: UtilizationGrid::NotApplicable,
             allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            period_policies: vec![PeriodPolicy::Fixed],
             trials: 1,
             base_seed: self.seed,
             expansion: Expansion::Cartesian,

@@ -66,6 +66,7 @@ impl Fig2Config {
                 self.max_points,
             )),
             allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            period_policies: vec![PeriodPolicy::Fixed],
             trials: self.trials,
             base_seed: self.seed,
             expansion: Expansion::Cartesian,

@@ -68,6 +68,7 @@ impl Fig3Config {
                 self.max_points,
             )),
             allocators: vec![AllocatorKind::Hydra, AllocatorKind::Optimal],
+            period_policies: vec![PeriodPolicy::Fixed],
             trials: self.trials,
             base_seed: self.seed,
             expansion: Expansion::Cartesian,

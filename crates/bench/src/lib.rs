@@ -6,6 +6,8 @@
 //!   simulate, inject attacks, report the detection-time CDF (Figure 1),
 //! * [`fig2`] — the synthetic acceptance-ratio sweep (Figure 2),
 //! * [`fig3`] — the HYDRA vs Optimal cumulative-tightness gap (Figure 3),
+//! * [`period_policy`] — the fixed/adapt/joint period-policy tightness CDFs
+//!   (the follow-up period-adaptation comparison),
 //! * [`table1`] — the security-task catalogue (Table I),
 //! * [`report`] — small CSV/console reporting helpers shared by the binaries.
 //!
@@ -19,6 +21,7 @@
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod period_policy;
 pub mod report;
 pub mod table1;
 

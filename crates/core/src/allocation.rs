@@ -151,6 +151,43 @@ impl Allocation {
         }
     }
 
+    /// Mean normalised period slack `(T^max − T)/T^max` over the placed
+    /// security tasks — how far the granted periods stay, on average, from
+    /// the point where monitoring becomes ineffective. `None` for an empty
+    /// allocation.
+    #[must_use]
+    pub fn mean_period_slack(&self, tasks: &SecurityTaskSet) -> Option<f64> {
+        if self.placements.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .iter()
+            .map(|(id, placement)| {
+                let max = tasks[id].max_period().as_ticks() as f64;
+                let granted = placement.period.as_ticks() as f64;
+                (max - granted).max(0.0) / max
+            })
+            .sum();
+        Some(total / self.placements.len() as f64)
+    }
+
+    /// Achieved-vs-desired monitoring frequency ratio
+    /// `Σ 1/T_s / Σ 1/T_s^des ∈ (0, 1]` — `1` means every check runs at the
+    /// rate the designer asked for. `None` for an empty allocation.
+    #[must_use]
+    pub fn frequency_ratio(&self, tasks: &SecurityTaskSet) -> Option<f64> {
+        if self.placements.is_empty() {
+            return None;
+        }
+        let (achieved, desired) = self.iter().fold((0.0, 0.0), |(a, d), (id, p)| {
+            (
+                a + 1.0 / p.period.as_ticks() as f64,
+                d + 1.0 / tasks[id].desired_period().as_ticks() as f64,
+            )
+        });
+        Some(achieved / desired)
+    }
+
     /// The granted period of one security task.
     ///
     /// # Panics
@@ -331,6 +368,21 @@ mod tests {
         .collect();
         assert!((alloc.cumulative_tightness(&tasks) - 2.5).abs() < 1e-12);
         assert!(alloc.to_string().contains("σ0"));
+
+        // Period slack: task 0 at 1000/10000 leaves 0.9, task 1 at
+        // 2000/10000 leaves 0.8 → mean 0.85. Frequency ratio:
+        // (1/1000 + 1/2000) / (1/1000 + 1/1000) = 0.75.
+        assert!((alloc.mean_period_slack(&tasks).unwrap() - 0.85).abs() < 1e-12);
+        assert!((alloc.frequency_ratio(&tasks).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_allocation_has_no_period_metrics() {
+        let alloc = Allocation::new(Partition::new(0, 2), Vec::new());
+        let tasks = SecurityTaskSet::empty();
+        assert_eq!(alloc.mean_period_slack(&tasks), None);
+        assert_eq!(alloc.frequency_ratio(&tasks), None);
+        assert_eq!(alloc.mean_tightness(), 0.0);
     }
 
     #[test]

@@ -26,7 +26,8 @@
 
 use rt_core::Time;
 
-use crate::interference::InterferenceBound;
+use crate::allocation::{Allocation, AllocationProblem, SecurityPlacement};
+use crate::interference::{rt_interference_on, InterferenceBound};
 use crate::security::SecurityTask;
 
 /// Parameters of the coordinate-ascent refinement.
@@ -213,6 +214,58 @@ pub fn optimize_core_periods(
     })
 }
 
+/// Re-optimises the security periods of a **finished** allocation, one core
+/// at a time, keeping every core assignment fixed — the post-allocation
+/// *period adaptation* pass of the follow-up work ("Period Adaptation for
+/// Continuous Security Monitoring in Multicore Real-Time Systems",
+/// Hasan et al., 2019).
+///
+/// With [`JointOptions::greedy_only`] every task on a core is re-granted its
+/// smallest feasible period in priority order (the closed form of Eq. 7);
+/// with the default options the coordinate-ascent refinement of
+/// [`optimize_core_periods`] may additionally stretch a high-priority period
+/// to recover tightness below it. Both passes use the base preemptive
+/// interference model of Eq. (5); scheme-specific terms the allocator may
+/// have accounted for (e.g. non-preemptive blocking) are not re-checked.
+///
+/// The pass is conservative per core: if re-optimisation of a core fails
+/// (which cannot happen for plans produced under the same model, but guards
+/// schemes with extra constraints), that core keeps the periods the
+/// allocator granted. The returned allocation therefore always covers every
+/// security task of the input.
+#[must_use]
+pub fn readapt_allocation(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    options: &JointOptions,
+) -> Allocation {
+    let partition = allocation.rt_partition();
+    let mut placements: Vec<SecurityPlacement> =
+        allocation.iter().map(|(_, placement)| *placement).collect();
+    for core in partition.core_ids() {
+        let mut ids = allocation.security_tasks_on(core);
+        if ids.is_empty() {
+            continue;
+        }
+        // Priority order (ascending T^max, ties by id) — the order every
+        // per-core schedulability argument in this module assumes.
+        ids.sort_by_key(|&id| (problem.security_tasks[id].max_period(), id.0));
+        let tasks: Vec<&SecurityTask> = ids.iter().map(|&id| &problem.security_tasks[id]).collect();
+        let rt_bound = rt_interference_on(&problem.rt_tasks, partition, core);
+        if let Some(plan) = optimize_core_periods(&tasks, &rt_bound, options) {
+            for (rank, &id) in ids.iter().enumerate() {
+                let period = plan.periods[rank];
+                placements[id.0] = SecurityPlacement {
+                    core,
+                    period,
+                    tightness: problem.security_tasks[id].tightness(period),
+                };
+            }
+        }
+    }
+    Allocation::new(partition.clone(), placements)
+}
+
 /// Whether the given period vector satisfies every schedulability constraint
 /// (Eq. 6) and period bound (Eq. 4) for `tasks` (priority order) on a core
 /// with real-time interference `rt_bound`. Used by tests and debug
@@ -247,6 +300,7 @@ pub fn plan_is_feasible(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocator::Allocator as _;
 
     fn sec(c_ms: u64, tdes_ms: u64, tmax_ms: u64) -> SecurityTask {
         SecurityTask::new(
@@ -358,6 +412,105 @@ mod tests {
             &b,
             &[Time::from_millis(1000), Time::from_millis(1300)]
         ));
+    }
+
+    #[test]
+    fn saturated_greedy_leaves_nothing_for_the_refinement() {
+        // Every task reaches tightness 1 greedily (no interference worth
+        // mentioning): the refinement and the iterative GP fallback must
+        // terminate without changing anything — there is no headroom left.
+        let t1 = sec(10, 5_000, 50_000);
+        let t2 = sec(20, 8_000, 80_000);
+        let tasks = vec![&t1, &t2];
+        let b = bound(1.0, 0.01);
+        let greedy = optimize_core_periods(&tasks, &b, &JointOptions::greedy_only()).unwrap();
+        assert!((greedy.weighted_tightness - 2.0).abs() < 1e-12);
+        let refined = optimize_core_periods(&tasks, &b, &JointOptions::default()).unwrap();
+        assert_eq!(refined.periods, greedy.periods);
+        // The GP solver agrees per task: with greedy already saturated it
+        // must fall back to the same desired periods, not "improve" them.
+        for task in &tasks {
+            let gp = crate::period::adapt_period_gp(task, &b, &gp_solver::SolverOptions::default())
+                .unwrap();
+            assert_eq!(gp.period, task.desired_period());
+            assert_eq!(gp.tightness, 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_slack_tasks_round_trip_through_the_optimiser() {
+        // T^des == T^max: the only admissible period is T^max itself, so the
+        // plan either grants exactly that or reports infeasibility.
+        let pinned = sec(50, 2_000, 2_000);
+        let plan = optimize_core_periods(&[&pinned], &bound(100.0, 0.3), &JointOptions::default())
+            .unwrap();
+        assert_eq!(plan.periods, vec![Time::from_millis(2_000)]);
+        // Interference pushing the requirement past T^max is infeasible.
+        assert_eq!(
+            optimize_core_periods(&[&pinned], &bound(1_500.0, 0.5), &JointOptions::default()),
+            None
+        );
+    }
+
+    fn readapt_problem() -> AllocationProblem {
+        use rt_core::{RtTask, TaskSet};
+        let rt_tasks: TaskSet =
+            vec![RtTask::implicit_deadline(Time::from_millis(40), Time::from_millis(100)).unwrap()]
+                .into_iter()
+                .collect();
+        let sec_tasks = vec![sec(900, 920, 100_000), sec(100, 2_000, 200_000)]
+            .into_iter()
+            .collect();
+        AllocationProblem::new(rt_tasks, sec_tasks, 1)
+    }
+
+    #[test]
+    fn readapting_a_hydra_allocation_greedily_is_a_fixed_point() {
+        // HYDRA grants minimal feasible periods in priority order, so the
+        // greedy re-adaptation pass reproduces its allocation exactly.
+        let problem = readapt_problem();
+        let fixed = crate::allocator::HydraAllocator::default()
+            .allocate(&problem)
+            .unwrap();
+        let adapted = readapt_allocation(&problem, &fixed, &JointOptions::greedy_only());
+        assert_eq!(adapted, fixed);
+    }
+
+    #[test]
+    fn joint_readaptation_dominates_the_fixed_allocation() {
+        // The hog/victim geometry: the joint pass stretches the hog's period
+        // and recovers strictly more cumulative tightness than HYDRA fixed.
+        let problem = readapt_problem();
+        let fixed = crate::allocator::HydraAllocator::default()
+            .allocate(&problem)
+            .unwrap();
+        let joint = readapt_allocation(&problem, &fixed, &JointOptions::default());
+        let sec_set = &problem.security_tasks;
+        assert!(
+            joint.cumulative_tightness(sec_set) > fixed.cumulative_tightness(sec_set) + 0.05,
+            "joint {} should clearly beat fixed {}",
+            joint.cumulative_tightness(sec_set),
+            fixed.cumulative_tightness(sec_set)
+        );
+        // Core assignments never move; only periods do.
+        for (id, placement) in joint.iter() {
+            assert_eq!(placement.core, fixed.placement(id).core);
+        }
+    }
+
+    #[test]
+    fn readapting_an_empty_allocation_is_a_no_op() {
+        let problem = AllocationProblem::new(
+            crate::casestudy::uav_rt_tasks(),
+            crate::security::SecurityTaskSet::empty(),
+            2,
+        );
+        let empty = crate::allocator::HydraAllocator::default()
+            .allocate(&problem)
+            .unwrap();
+        let readapted = readapt_allocation(&problem, &empty, &JointOptions::default());
+        assert!(readapted.is_empty());
+        assert_eq!(readapted, empty);
     }
 
     #[test]

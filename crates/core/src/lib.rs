@@ -60,6 +60,7 @@ pub use allocator::{
     Allocator, CoreSelection, HydraAllocator, OptimalAllocator, SingleCoreAllocator,
 };
 pub use interference::InterferenceBound;
+pub use joint::{readapt_allocation, JointOptions};
 pub use nonpreemptive::NpHydraAllocator;
 pub use period::PeriodChoice;
 pub use precedence::{PrecedenceGraph, PrecedenceHydraAllocator};

@@ -217,6 +217,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_slack_task_gets_exactly_its_pinned_period_or_nothing() {
+        // T^des == T^max leaves no adaptation room: the closed form and the
+        // GP path both grant exactly that period when it is feasible and
+        // report infeasibility otherwise.
+        let pinned = sec(100, 2000, 2000);
+        let ok = bound(300.0, 0.4);
+        let choice = adapt_period(&pinned, &ok).unwrap();
+        assert_eq!(choice.period, Time::from_millis(2000));
+        assert_eq!(choice.tightness, 1.0);
+        let gp = adapt_period_gp(&pinned, &ok, &SolverOptions::default()).unwrap();
+        assert_eq!(gp.period, choice.period);
+        // (100 + 1500)/(1 − 0.5) = 3200 ms > 2000 ms: nothing fits.
+        let too_much = bound(1500.0, 0.5);
+        assert_eq!(adapt_period(&pinned, &too_much), None);
+        assert_eq!(
+            adapt_period_gp(&pinned, &too_much, &SolverOptions::default()),
+            None
+        );
+    }
+
+    #[test]
     fn tightness_never_exceeds_one_nor_drops_below_floor() {
         let task = sec(200, 1000, 5000);
         for slope in [0.0, 0.3, 0.6, 0.79] {

@@ -2,14 +2,14 @@
 //!
 //! Two views cover the paper's evaluation and most follow-on questions:
 //!
-//! * [`SweepAccumulator`] / [`aggregate`] — per `(cores, allocator,
-//!   utilization)` group: acceptance ratio over the Eq. (1)-feasible task
-//!   sets, and mean / p50 / p99 of the cumulative tightness over the
-//!   scheduled ones;
+//! * [`SweepAccumulator`] / [`aggregate`] — per `(cores, allocator, period
+//!   policy, utilization)` group: acceptance ratio over the
+//!   Eq. (1)-feasible task sets, and mean / p50 / p99 of the cumulative
+//!   tightness over the scheduled ones;
 //! * [`PairedSink`] / [`paired_comparison`] — joins two allocators' outcomes
-//!   on the shared problem instance (same seed-stream address) and reports
-//!   the tightness gap over the task sets **both** schemes scheduled, which
-//!   is exactly the Figure 3 metric.
+//!   on the shared problem instance (same seed-stream address, same period
+//!   policy) and reports the tightness gap over the task sets **both**
+//!   schemes scheduled, which is exactly the Figure 3 metric.
 //!
 //! Both are **online**: they fold outcomes one at a time, so the streaming
 //! executor never has to retain the full outcome vector. The executor keeps
@@ -26,15 +26,18 @@ use hydra_core::metrics::{mean, percentile_sorted, AcceptanceCounter};
 
 use crate::scenario::ScenarioOutcome;
 use crate::sink::OutcomeSink;
-use crate::spec::AllocatorKind;
+use crate::spec::{AllocatorKind, PeriodPolicy};
 
-/// Summary statistics of one `(cores, allocator, utilization)` group.
+/// Summary statistics of one `(cores, allocator, policy, utilization)`
+/// group.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregateRow {
     /// Number of cores.
     pub cores: usize,
     /// Allocation scheme.
     pub allocator: AllocatorKind,
+    /// Period policy applied after allocation.
+    pub policy: PeriodPolicy,
     /// Utilization grid value (`None` for fixed workloads).
     pub utilization: Option<f64>,
     /// Scenarios in the group.
@@ -53,15 +56,16 @@ pub struct AggregateRow {
     pub p99_tightness: f64,
 }
 
-/// Group key: `(cores, allocator, utilization bit pattern)`. A `None`
-/// utilization is stored as bit pattern `0`, which no positive grid value
-/// collides with.
-type GroupKey = (usize, AllocatorKind, u64);
+/// Group key: `(cores, allocator, policy, utilization bit pattern)`. A
+/// `None` utilization is stored as bit pattern `0`, which no positive grid
+/// value collides with.
+type GroupKey = (usize, AllocatorKind, PeriodPolicy, u64);
 
 fn group_key(outcome: &ScenarioOutcome) -> GroupKey {
     (
         outcome.scenario.cores,
         outcome.scenario.allocator,
+        outcome.scenario.policy,
         outcome.scenario.utilization.map_or(0, f64::to_bits),
     )
 }
@@ -142,7 +146,7 @@ impl SweepAccumulator {
         self.groups.is_empty()
     }
 
-    /// Renders the aggregate rows, sorted by `(cores, allocator,
+    /// Renders the aggregate rows, sorted by `(cores, allocator, policy,
     /// utilization)` so the output is deterministic.
     #[must_use]
     pub fn rows(&self) -> Vec<AggregateRow> {
@@ -156,7 +160,8 @@ impl SweepAccumulator {
                 AggregateRow {
                     cores: key.0,
                     allocator: key.1,
-                    utilization: (key.2 != 0).then(|| f64::from_bits(key.2)),
+                    policy: key.2,
+                    utilization: (key.3 != 0).then(|| f64::from_bits(key.3)),
                     scenarios: group.feasible.total() as usize,
                     feasible: group.feasible.accepted() as usize,
                     scheduled: group.scheduled.accepted() as usize,
@@ -182,10 +187,11 @@ impl SweepAccumulator {
             let group = &self.groups[&key];
             let _ = write!(
                 out,
-                "group {} {} {:x} {} {} {}",
+                "group {} {} {} {:x} {} {} {}",
                 key.0,
                 key.1.label(),
-                key.2,
+                key.2.label(),
+                key.3,
                 group.feasible.total(),
                 group.feasible.accepted(),
                 group.scheduled.accepted(),
@@ -218,6 +224,8 @@ impl SweepAccumulator {
             let cores: usize = next("cores")?.parse().map_err(|e| format!("cores: {e}"))?;
             let allocator = next("allocator").map(AllocatorKind::parse)?;
             let allocator = allocator.ok_or_else(|| format!("unknown allocator in: {line}"))?;
+            let policy = next("policy").map(PeriodPolicy::parse)?;
+            let policy = policy.ok_or_else(|| format!("unknown period policy in: {line}"))?;
             let util_bits = u64::from_str_radix(next("utilization")?, 16)
                 .map_err(|e| format!("utilization bits: {e}"))?;
             let scenarios: u64 = next("scenarios")?
@@ -237,7 +245,7 @@ impl SweepAccumulator {
                 .collect::<Result<_, _>>()
                 .map_err(|e| format!("tightness bits: {e}"))?;
             let previous = acc.groups.insert(
-                (cores, allocator, util_bits),
+                (cores, allocator, policy, util_bits),
                 GroupAcc {
                     feasible: AcceptanceCounter::from_counts(feasible, scenarios),
                     scheduled: AcceptanceCounter::from_counts(scheduled, feasible),
@@ -268,6 +276,10 @@ pub fn aggregate(outcomes: &[ScenarioOutcome]) -> Vec<AggregateRow> {
 pub struct PairedPoint {
     /// Number of cores.
     pub cores: usize,
+    /// Period policy both joined outcomes ran under (outcomes are only
+    /// joined within one policy — a multi-policy sweep yields one series per
+    /// policy).
+    pub policy: PeriodPolicy,
     /// Utilization grid value (`None` for fixed workloads).
     pub utilization: Option<f64>,
     /// Task sets both schemes scheduled (the gap is averaged over these).
@@ -300,20 +312,22 @@ struct PendingPair {
 }
 
 /// An [`OutcomeSink`] that joins the outcomes of two allocators on their
-/// shared problem addresses **online** and reports, per `(cores,
+/// shared problem addresses **online** and reports, per `(cores, policy,
 /// utilization)` point, the relative tightness gap of `a` below `b` over the
-/// task sets both scheduled.
+/// task sets both scheduled. Outcomes are joined within one period policy
+/// only, so the pairing stays exact when the sweep also carries the policy
+/// axis.
 ///
 /// With `a = Hydra` and `b = Optimal` this is the Figure 3 series. Because
-/// the allocator axis is innermost in grid order, a pair's two outcomes
-/// arrive back to back and the pending join state stays O(1) in practice
-/// (O(unpaired points) worst case under sampled expansion).
+/// the allocator and policy axes are innermost in grid order, a pair's two
+/// outcomes arrive close together and the pending join state stays O(1) in
+/// practice (O(unpaired points) worst case under sampled expansion).
 #[derive(Debug)]
 pub struct PairedSink {
     a: AllocatorKind,
     b: AllocatorKind,
-    pending: HashMap<(usize, u64, u64), PendingPair>,
-    points: HashMap<(usize, u64), PointAcc>,
+    pending: HashMap<(usize, PeriodPolicy, u64, u64), PendingPair>,
+    points: HashMap<(usize, PeriodPolicy, u64), PointAcc>,
 }
 
 impl PairedSink {
@@ -336,12 +350,14 @@ impl PairedSink {
         if is_a {
             // Every point scheme `a` ran at appears in the series, even when
             // nothing could be compared there.
-            self.points.entry((s.cores, util_bits)).or_default();
+            self.points
+                .entry((s.cores, s.policy, util_bits))
+                .or_default();
         }
         if !is_a && !is_b {
             return;
         }
-        let key = (s.cores, util_bits, s.problem_stream);
+        let key = (s.cores, s.policy, util_bits, s.problem_stream);
         let entry = self.pending.entry(key).or_default();
         if is_a {
             entry.a = Some(outcome.cumulative_tightness);
@@ -352,7 +368,10 @@ impl PairedSink {
         if let (Some(ta), Some(tb)) = (entry.a, entry.b) {
             self.pending.remove(&key);
             if let (Some(eta_a), Some(eta_b)) = (ta, tb) {
-                let acc = self.points.entry((s.cores, util_bits)).or_default();
+                let acc = self
+                    .points
+                    .entry((s.cores, s.policy, util_bits))
+                    .or_default();
                 acc.a_values.push(eta_a);
                 acc.b_values.push(eta_b);
                 acc.gaps.push(if eta_b > 0.0 {
@@ -364,16 +383,17 @@ impl PairedSink {
         }
     }
 
-    /// Renders the comparison series, sorted by `(cores, utilization)`.
-    /// Order-independent: every per-point vector is sorted before summing.
+    /// Renders the comparison series, sorted by `(cores, policy,
+    /// utilization)`. Order-independent: every per-point vector is sorted
+    /// before summing.
     #[must_use]
     pub fn into_points(self) -> Vec<PairedPoint> {
-        let mut point_keys: Vec<(usize, u64)> = self.points.keys().copied().collect();
+        let mut point_keys: Vec<(usize, PeriodPolicy, u64)> = self.points.keys().copied().collect();
         point_keys.sort_unstable();
         point_keys
             .into_iter()
-            .map(|(cores, util_bits)| {
-                let acc = &self.points[&(cores, util_bits)];
+            .map(|(cores, policy, util_bits)| {
+                let acc = &self.points[&(cores, policy, util_bits)];
                 let mut a_values = acc.a_values.clone();
                 let mut b_values = acc.b_values.clone();
                 let mut gaps = acc.gaps.clone();
@@ -382,6 +402,7 @@ impl PairedSink {
                 gaps.sort_by(f64::total_cmp);
                 PairedPoint {
                     cores,
+                    policy,
                     utilization: (util_bits != 0).then(|| f64::from_bits(util_bits)),
                     compared: gaps.len(),
                     // Sorted inputs keep the float sums arrival-order independent.
@@ -451,7 +472,14 @@ mod tests {
         }
         // Deterministic ordering: sorted by (cores, allocator, util).
         let mut sorted = rows.clone();
-        sorted.sort_by_key(|r| (r.cores, r.allocator, r.utilization.map_or(0, f64::to_bits)));
+        sorted.sort_by_key(|r| {
+            (
+                r.cores,
+                r.allocator,
+                r.policy,
+                r.utilization.map_or(0, f64::to_bits),
+            )
+        });
         assert_eq!(rows, sorted);
     }
 
@@ -492,8 +520,12 @@ mod tests {
         assert_eq!(restored.render(), text);
         // Malformed inputs are rejected, not misread.
         assert!(SweepAccumulator::parse("bogus 1 2 3").is_err());
-        assert!(SweepAccumulator::parse("group 2 hydra zz 1 1 1").is_err());
-        assert!(SweepAccumulator::parse("group 2 hydra 0 1 2 2").is_err());
+        assert!(SweepAccumulator::parse("group 2 hydra fixed zz 1 1 1").is_err());
+        assert!(SweepAccumulator::parse("group 2 hydra fixed 0 1 2 2").is_err());
+        assert!(SweepAccumulator::parse("group 2 hydra bogus 0 1 1 1").is_err());
+        // The pre-policy v1 group format no longer parses (the policy field
+        // is mandatory), so stale checkpoints cannot be silently mixed in.
+        assert!(SweepAccumulator::parse("group 2 hydra 0 1 1 1").is_err());
         let empty = SweepAccumulator::parse("").unwrap();
         assert!(empty.is_empty());
     }
@@ -529,6 +561,40 @@ mod tests {
             sink.into_points(),
             paired_comparison(&outcomes, AllocatorKind::Hydra, AllocatorKind::SingleCore)
         );
+    }
+
+    #[test]
+    fn policy_axis_groups_and_joins_per_policy() {
+        use crate::spec::PeriodPolicy;
+        let mut spec = ScenarioSpec::synthetic("agg-policy");
+        spec.cores = vec![2];
+        spec.utilizations = UtilizationGrid::Fractions(vec![0.2]);
+        spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+        spec.period_policies = vec![PeriodPolicy::Fixed, PeriodPolicy::Joint];
+        spec.trials = 3;
+        let outcomes = Executor::serial().run(&spec).outcomes;
+        // 1 core count × 2 allocators × 2 policies × 1 utilization point.
+        let rows = aggregate(&outcomes);
+        assert_eq!(rows.len(), 4);
+        for policy in [PeriodPolicy::Fixed, PeriodPolicy::Joint] {
+            assert_eq!(rows.iter().filter(|r| r.policy == policy).count(), 2);
+        }
+        // The paired join never mixes policies: one series per policy, each
+        // comparing at most the per-policy trial count.
+        let points = paired_comparison(&outcomes, AllocatorKind::Hydra, AllocatorKind::SingleCore);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].policy, PeriodPolicy::Fixed);
+        assert_eq!(points[1].policy, PeriodPolicy::Joint);
+        for p in &points {
+            assert!(p.compared <= 3);
+        }
+        // Round-trip of the policy-aware render format.
+        let mut acc = SweepAccumulator::new();
+        for outcome in &outcomes {
+            acc.record(outcome);
+        }
+        let restored = SweepAccumulator::parse(&acc.render()).unwrap();
+        assert_eq!(restored.rows(), acc.rows());
     }
 
     #[test]

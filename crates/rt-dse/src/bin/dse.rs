@@ -6,7 +6,8 @@
 //! dse sweep --workload uav --eval detection --horizon 120 --attacks 200
 //! dse sweep --trials 500 --shard 1/4 --out results/dse     # one of four shards
 //! dse sweep --trials 500 --resume --out results/dse        # continue a killed run
-//! dse list-allocators
+//! dse sweep --period-policy fixed,adapt,joint --allocators hydra
+//! dse list-axes
 //! ```
 //!
 //! `sweep` expands the requested grid, evaluates it on the parallel
@@ -32,7 +33,10 @@ dse — design-space exploration for security-task allocation
 
 USAGE:
     dse sweep [OPTIONS]      run a sweep
-    dse list-allocators      print the available allocation schemes
+    dse list-axes            print the valid values of every enumerable axis
+                             (allocators and period policies, one `<axis>
+                             <value>` pair per line; `list-allocators` is an
+                             alias kept for existing scripts)
     dse help                 show this message
 
 SWEEP OPTIONS:
@@ -43,6 +47,15 @@ SWEEP OPTIONS:
                           (optimal is exhaustive — pair it with --cores 2 and a
                           small --sec-tasks range, e.g. 2,6, as the paper does)
                                                             [default: hydra,singlecore,nphydra]
+    --period-policy P1,P2 post-allocation period policies: fixed (keep the
+                          allocator's periods), adapt (greedy per-core
+                          re-adaptation), joint (coordinate-ascent joint
+                          optimisation); policy variants share the seed
+                          address, so comparisons are paired. adapt/joint
+                          re-check the base preemptive model only (nphydra
+                          blocking is not re-validated; precedence keeps its
+                          granted periods under every policy)
+                                                            [default: fixed]
     --trials N            task sets per grid point          [default: 5]
     --seed S              base seed                         [default: 2018]
     --threads N           worker threads (0 = all cores)    [default: 0]
@@ -182,6 +195,19 @@ fn build_spec(args: &Args) -> Result<ScenarioSpec, String> {
         return Err("at least one allocator is required".to_owned());
     }
 
+    let period_policies = match args.value_of("--period-policy") {
+        None => vec![PeriodPolicy::Fixed],
+        Some(raw) => raw
+            .split(',')
+            .map(|label| {
+                PeriodPolicy::parse(label).ok_or_else(|| format!("unknown period policy: {label}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    if period_policies.is_empty() {
+        return Err("at least one period policy is required".to_owned());
+    }
+
     let expansion = match args.parsed("--sample")? {
         Some(n) => Expansion::Sampled(n),
         None => Expansion::Cartesian,
@@ -201,6 +227,7 @@ fn build_spec(args: &Args) -> Result<ScenarioSpec, String> {
         cores,
         utilizations,
         allocators,
+        period_policies,
         trials: args.parsed("--trials")?.unwrap_or(5),
         base_seed: args.parsed("--seed")?.unwrap_or(2018),
         expansion,
@@ -209,9 +236,10 @@ fn build_spec(args: &Args) -> Result<ScenarioSpec, String> {
 
 fn print_summary(rows: &[rt_dse::AggregateRow]) {
     println!(
-        "{:>5}  {:>10}  {:>8}  {:>9}  {:>9}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "{:>5}  {:>10}  {:>6}  {:>8}  {:>9}  {:>9}  {:>10}  {:>9}  {:>9}  {:>9}",
         "cores",
         "allocator",
+        "policy",
         "util",
         "feasible",
         "scheduled",
@@ -222,9 +250,10 @@ fn print_summary(rows: &[rt_dse::AggregateRow]) {
     );
     for row in rows {
         println!(
-            "{:>5}  {:>10}  {:>8}  {:>9}  {:>9}  {:>10.3}  {:>9.3}  {:>9.3}  {:>9.3}",
+            "{:>5}  {:>10}  {:>6}  {:>8}  {:>9}  {:>9}  {:>10.3}  {:>9.3}  {:>9.3}  {:>9.3}",
             row.cores,
             row.allocator.label(),
+            row.policy.label(),
             row.utilization
                 .map_or_else(|| "-".to_owned(), |u| format!("{u:.3}")),
             row.feasible,
@@ -421,7 +450,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
 
     eprintln!(
         "sweeping \"{}\": {} of {} scenarios (grid indices {}..{}, shard {}/{}) on \
-         {} cores × {} allocators, {} trials/point",
+         {} cores × {} allocators × {} period policies, {} trials/point",
         spec.name,
         end - start,
         grid_len,
@@ -431,6 +460,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         shard.1,
         spec.cores.len(),
         spec.allocators.len(),
+        spec.period_policies.len(),
         spec.trials
     );
 
@@ -451,11 +481,13 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     let memo = summary.memo;
     eprintln!(
         "memo: {} problems generated, {} reused; {} partitions computed, {} reused; \
-         {} feasibility checks, {} reused",
+         {} allocations computed, {} reused; {} feasibility checks, {} reused",
         memo.problem_misses,
         memo.problem_hits,
         memo.partition_misses,
         memo.partition_hits,
+        memo.allocation_misses,
+        memo.allocation_hits,
         memo.feasibility_misses,
         memo.feasibility_hits
     );
@@ -500,9 +532,14 @@ fn main() -> ExitCode {
 
     let result = match command {
         "sweep" => run_sweep(&args),
-        "list-allocators" => {
+        // `list-allocators` predates the period-policy axis; it is kept as
+        // an alias so existing scripts keep discovering valid flag values.
+        "list-axes" | "list-allocators" => {
             for kind in AllocatorKind::ALL {
-                println!("{}", kind.label());
+                println!("allocator {}", kind.label());
+            }
+            for policy in PeriodPolicy::ALL {
+                println!("period-policy {}", policy.label());
             }
             Ok(())
         }

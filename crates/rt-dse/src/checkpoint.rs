@@ -22,7 +22,11 @@ use std::path::Path;
 use crate::agg::SweepAccumulator;
 use crate::spec::ScenarioSpec;
 
-const MAGIC: &str = "dse-checkpoint v1";
+// v2: the aggregate `group` lines gained a mandatory period-policy field
+// when the sweep grid grew the policy axis. A v1 checkpoint must be
+// rejected outright — resuming it would splice a policy-less prefix into a
+// policy-aware stream.
+const MAGIC: &str = "dse-checkpoint v2";
 
 /// The durable progress record of one (possibly sharded) sweep.
 #[derive(Debug, Clone, Default)]
@@ -151,12 +155,14 @@ impl Checkpoint {
 }
 
 /// A stable fingerprint of the sweep parameters a checkpoint is only valid
-/// for: the full spec (axes, seed, workload, expansion) and the shard split.
-/// Resuming with anything else changed must be rejected, not spliced.
+/// for: the full spec (axes — including the period-policy set — seed,
+/// workload, expansion) and the shard split. Resuming with anything else
+/// changed must be rejected, not spliced.
 #[must_use]
 pub fn sweep_fingerprint(spec: &ScenarioSpec, shard: (usize, usize)) -> u64 {
     // FNV-1a over the debug rendering: every spec field is Debug-stable and
-    // participates, so any parameter change flips the fingerprint.
+    // participates (`period_policies` included), so any parameter change —
+    // adding or dropping a policy too — flips the fingerprint.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let text = format!("{spec:?}|shard {}/{}", shard.0, shard.1);
     for byte in text.as_bytes() {
@@ -264,5 +270,28 @@ mod tests {
         let mut regridded = small_spec();
         regridded.trials += 1;
         assert_ne!(base, sweep_fingerprint(&regridded, (1, 2)));
+    }
+
+    #[test]
+    fn fingerprints_react_to_the_period_policy_set() {
+        use crate::spec::PeriodPolicy;
+        // A spec that gained (or reordered) the policy axis is a different
+        // sweep: resuming its checkpoint must be rejected, not mixed.
+        let base = sweep_fingerprint(&small_spec(), (1, 1));
+        let mut widened = small_spec();
+        widened.period_policies = vec![PeriodPolicy::Fixed, PeriodPolicy::Adapt];
+        assert_ne!(base, sweep_fingerprint(&widened, (1, 1)));
+        let mut reordered = widened.clone();
+        reordered.period_policies = vec![PeriodPolicy::Adapt, PeriodPolicy::Fixed];
+        assert_ne!(
+            sweep_fingerprint(&widened, (1, 1)),
+            sweep_fingerprint(&reordered, (1, 1))
+        );
+    }
+
+    #[test]
+    fn stale_v1_checkpoints_are_rejected_by_the_magic_line() {
+        let err = Checkpoint::parse("dse-checkpoint v1\nfingerprint 0\n").unwrap_err();
+        assert!(err.contains("dse-checkpoint v2"), "{err}");
     }
 }

@@ -41,7 +41,7 @@ use taskgen::{derive_seed, generate_problem_seeded};
 
 use crate::agg::SweepAccumulator;
 use crate::grid::ScenarioGrid;
-use crate::memo::{hash_taskset, MemoCache, MemoStats, PartitionKey, ProblemKey};
+use crate::memo::{hash_taskset, AllocationKey, MemoCache, MemoStats, PartitionKey, ProblemKey};
 use crate::scenario::{DetectionStats, Scenario, ScenarioOutcome};
 use crate::sink::{OutcomeSink, VecSink};
 use crate::spec::{AllocatorKind, Evaluation, ScenarioSpec, Workload};
@@ -394,7 +394,7 @@ fn evaluate(spec: &ScenarioSpec, scenario: &Scenario, memo: &MemoCache) -> Scena
                     problem.total_utilization(),
                 );
             }
-            allocate_and_measure(spec, scenario, &problem, taskset_hash, memo)
+            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo)
         }
         Workload::CaseStudyUav => {
             let key = ProblemKey {
@@ -413,7 +413,7 @@ fn evaluate(spec: &ScenarioSpec, scenario: &Scenario, memo: &MemoCache) -> Scena
                 .with_partition_config(Workload::uav_partition_config())
             });
             let taskset_hash = hash_taskset(&problem.rt_tasks);
-            allocate_and_measure(spec, scenario, &problem, taskset_hash, memo)
+            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo)
         }
     }
 }
@@ -471,13 +471,11 @@ fn allocate_shared(
 fn allocate_and_measure(
     spec: &ScenarioSpec,
     scenario: &Scenario,
+    problem_key: ProblemKey,
     problem: &AllocationProblem,
     taskset_hash: u64,
     memo: &MemoCache,
 ) -> ScenarioOutcome {
-    let allocator = scenario
-        .allocator
-        .build(problem.security_tasks.len(), &spec.workload);
     let base = ScenarioOutcome {
         scenario: *scenario,
         feasible: true,
@@ -488,10 +486,37 @@ fn allocate_and_measure(
         total_utilization: problem.total_utilization(),
         cumulative_tightness: None,
         mean_tightness: None,
+        period_slack: None,
+        freq_ratio: None,
         detection: None,
     };
-    match allocate_shared(scenario, &*allocator, problem, taskset_hash, memo) {
+    // One placement search per (problem, scheme): scenarios differing only
+    // in the period policy share the allocator run through the memo.
+    let shared = memo.allocation(
+        AllocationKey {
+            problem: problem_key,
+            allocator: scenario.allocator,
+        },
+        || {
+            let allocator = scenario
+                .allocator
+                .build(problem.security_tasks.len(), &spec.workload);
+            allocate_shared(scenario, &*allocator, problem, taskset_hash, memo)
+        },
+    );
+    match shared.as_ref() {
         Ok(allocation) => {
+            // The period-policy axis acts here: the scheme's placement is
+            // kept, the granted periods are re-optimised (or not) before any
+            // metric — including the detection simulation — is taken.
+            // Schemes whose grants carry invariants the per-core pass cannot
+            // preserve (precedence ordering across cores) keep their granted
+            // periods under every policy.
+            let allocation = if scenario.allocator.supports_period_reoptimization() {
+                scenario.policy.apply(problem, allocation.clone())
+            } else {
+                allocation.clone()
+            };
             let detection = match spec.evaluation {
                 Evaluation::Allocate => None,
                 Evaluation::Detection { horizon, attacks } => Some(measure_detection(
@@ -509,6 +534,8 @@ fn allocate_and_measure(
                     allocation.cumulative_tightness(&problem.security_tasks),
                 ),
                 mean_tightness: Some(allocation.mean_tightness()),
+                period_slack: allocation.mean_period_slack(&problem.security_tasks),
+                freq_ratio: allocation.frequency_ratio(&problem.security_tasks),
                 detection,
                 ..base
             }
@@ -623,6 +650,113 @@ mod tests {
         for outcome in &result.outcomes {
             if outcome.scenario.allocator == AllocatorKind::SingleCore && outcome.schedulable {
                 assert!(outcome.cumulative_tightness.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn period_policy_axis_shares_problems_and_partitions() {
+        use crate::spec::PeriodPolicy;
+        // Three policy variants of one allocator re-use the generated
+        // problem *and* the real-time partition: the policy pass happens
+        // after allocation, so the axis costs no regeneration at all.
+        let mut spec = tiny_spec();
+        spec.allocators = vec![AllocatorKind::Hydra];
+        spec.period_policies = vec![
+            PeriodPolicy::Fixed,
+            PeriodPolicy::Adapt,
+            PeriodPolicy::Joint,
+        ];
+        let result = Executor::serial().run(&spec);
+        assert_eq!(result.outcomes.len(), 18);
+        assert_eq!(result.memo.problem_misses, 6);
+        assert_eq!(result.memo.problem_hits, 12);
+        let feasible_problems = result
+            .outcomes
+            .iter()
+            .filter(|o| o.feasible && o.scenario.policy == PeriodPolicy::Fixed)
+            .count() as u64;
+        assert!(feasible_problems > 0);
+        // The placement search itself runs once per (problem, scheme) and
+        // the other two policies reuse it, so the partition is computed
+        // exactly once per feasible problem and never re-requested.
+        assert_eq!(result.memo.allocation_misses, feasible_problems);
+        assert_eq!(result.memo.allocation_hits, 2 * feasible_problems);
+        assert_eq!(result.memo.partition_misses, feasible_problems);
+        assert_eq!(result.memo.partition_hits, 0);
+    }
+
+    #[test]
+    fn period_policies_are_paired_and_ordered() {
+        use crate::spec::PeriodPolicy;
+        let mut spec = tiny_spec();
+        spec.allocators = vec![AllocatorKind::Hydra];
+        spec.period_policies = vec![
+            PeriodPolicy::Fixed,
+            PeriodPolicy::Adapt,
+            PeriodPolicy::Joint,
+        ];
+        let result = Executor::serial().run(&spec);
+        for triple in result.outcomes.chunks(3) {
+            let [fixed, adapt, joint] = triple else {
+                panic!("policy triples must be adjacent in grid order");
+            };
+            assert_eq!(fixed.scenario.policy, PeriodPolicy::Fixed);
+            assert_eq!(adapt.scenario.policy, PeriodPolicy::Adapt);
+            assert_eq!(joint.scenario.policy, PeriodPolicy::Joint);
+            // The policy acts post-allocation: the paired problem and the
+            // schedulability verdict are identical across the axis.
+            assert_eq!(fixed.scenario.problem_stream, joint.scenario.problem_stream);
+            assert_eq!(fixed.feasible, adapt.feasible);
+            assert_eq!(fixed.schedulable, adapt.schedulable);
+            assert_eq!(fixed.schedulable, joint.schedulable);
+            assert_eq!(fixed.n_rt, joint.n_rt);
+            if !fixed.schedulable {
+                continue;
+            }
+            // HYDRA already grants greedy minimal periods, so the greedy
+            // re-adaptation is a fixed point of its allocations…
+            assert_eq!(fixed.cumulative_tightness, adapt.cumulative_tightness);
+            assert_eq!(fixed.period_slack, adapt.period_slack);
+            assert_eq!(fixed.freq_ratio, adapt.freq_ratio);
+            // …and the joint refinement starts from greedy, so it never
+            // loses cumulative tightness. (Frequency ratio and slack are not
+            // monotonic across policies: stretching a high-priority period
+            // can let the tasks below it run faster.)
+            let (f, j) = (
+                fixed.cumulative_tightness.unwrap(),
+                joint.cumulative_tightness.unwrap(),
+            );
+            assert!(j >= f - 1e-12, "joint {j} lost to fixed {f}");
+            for o in triple {
+                let ratio = o.freq_ratio.unwrap();
+                let slack = o.period_slack.unwrap();
+                assert!((0.0..=1.0 + 1e-12).contains(&ratio), "freq ratio {ratio}");
+                assert!((0.0..=1.0).contains(&slack), "period slack {slack}");
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_allocations_keep_their_granted_periods_under_every_policy() {
+        use crate::spec::PeriodPolicy;
+        // The precedence scheme guarantees successor periods >= predecessor
+        // periods across cores — an invariant the per-core re-optimisation
+        // cannot preserve, so adapt/joint must be no-ops for it.
+        let mut spec = tiny_spec();
+        spec.allocators = vec![AllocatorKind::Precedence];
+        spec.period_policies = vec![
+            PeriodPolicy::Fixed,
+            PeriodPolicy::Adapt,
+            PeriodPolicy::Joint,
+        ];
+        let result = Executor::serial().run(&spec);
+        for triple in result.outcomes.chunks(3) {
+            for o in &triple[1..] {
+                assert_eq!(o.cumulative_tightness, triple[0].cumulative_tightness);
+                assert_eq!(o.mean_tightness, triple[0].mean_tightness);
+                assert_eq!(o.period_slack, triple[0].period_slack);
+                assert_eq!(o.freq_ratio, triple[0].freq_ratio);
             }
         }
     }

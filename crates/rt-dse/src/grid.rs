@@ -21,11 +21,12 @@ impl ScenarioGrid {
     /// Expands `spec` into its scenario points.
     ///
     /// The full grid is the cartesian product
-    /// `cores × utilizations × trials × allocators`, enumerated in that
-    /// nesting order (allocator innermost). The *problem stream* — the seed
-    /// address task-set generation uses — is derived from the position along
-    /// the first three axes only, so every allocator sees the identical
-    /// problem instance at a given `(cores, utilization, trial)` point.
+    /// `cores × utilizations × trials × allocators × period policies`,
+    /// enumerated in that nesting order (policy innermost). The *problem
+    /// stream* — the seed address task-set generation uses — is derived from
+    /// the position along the first three axes only, so every allocator and
+    /// every period policy sees the identical problem instance at a given
+    /// `(cores, utilization, trial)` point.
     ///
     /// With [`Expansion::Sampled`], a deterministic subset of at most the
     /// requested size is drawn (seeded from the spec's base seed) while
@@ -54,14 +55,17 @@ impl ScenarioGrid {
             for utilization in utils {
                 for trial in 0..spec.trials.max(1) {
                     for &allocator in &spec.allocators {
-                        scenarios.push(Scenario {
-                            index: scenarios.len(),
-                            cores,
-                            utilization,
-                            allocator,
-                            trial,
-                            problem_stream,
-                        });
+                        for &policy in &spec.period_policies {
+                            scenarios.push(Scenario {
+                                index: scenarios.len(),
+                                cores,
+                                utilization,
+                                allocator,
+                                policy,
+                                trial,
+                                problem_stream,
+                            });
+                        }
                     }
                     problem_stream += 1;
                 }
@@ -163,6 +167,41 @@ mod tests {
     }
 
     #[test]
+    fn period_policy_axis_is_innermost_and_shares_seed_addresses() {
+        use crate::spec::PeriodPolicy;
+        let mut spec = small_spec();
+        spec.period_policies = vec![
+            PeriodPolicy::Fixed,
+            PeriodPolicy::Adapt,
+            PeriodPolicy::Joint,
+        ];
+        let grid = ScenarioGrid::expand(&spec);
+        // 2 cores × 3 utils × 2 trials × 2 allocators × 3 policies.
+        assert_eq!(grid.len(), 72);
+        // Policy is the innermost axis: consecutive triplets share the
+        // allocator and the problem stream, differing only in policy.
+        for triple in grid.scenarios().chunks(3) {
+            assert_eq!(triple[0].policy, PeriodPolicy::Fixed);
+            assert_eq!(triple[1].policy, PeriodPolicy::Adapt);
+            assert_eq!(triple[2].policy, PeriodPolicy::Joint);
+            for s in &triple[1..] {
+                assert_eq!(s.allocator, triple[0].allocator);
+                assert_eq!(s.problem_stream, triple[0].problem_stream);
+                assert_eq!(s.cores, triple[0].cores);
+                assert_eq!(s.utilization, triple[0].utilization);
+                assert_eq!(s.trial, triple[0].trial);
+            }
+        }
+    }
+
+    #[test]
+    fn an_empty_policy_axis_expands_to_nothing() {
+        let mut spec = small_spec();
+        spec.period_policies = Vec::new();
+        assert!(ScenarioGrid::expand(&spec).is_empty());
+    }
+
+    #[test]
     fn problem_streams_are_unique_per_point() {
         let grid = ScenarioGrid::expand(&small_spec());
         let mut streams: Vec<u64> = grid
@@ -194,6 +233,7 @@ mod tests {
                     && f.utilization == s.utilization
                     && f.trial == s.trial
                     && f.allocator == s.allocator
+                    && f.policy == s.policy
                     && f.problem_stream == s.problem_stream
             }));
         }

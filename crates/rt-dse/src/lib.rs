@@ -6,7 +6,8 @@
 //! crate turns that pattern into declarative data plus a parallel engine:
 //!
 //! * [`ScenarioSpec`](spec::ScenarioSpec) — the axes of a sweep (cores,
-//!   utilization grid, allocators, trials, seed) as a value,
+//!   utilization grid, allocators, period policies, trials, seed) as a
+//!   value,
 //! * [`ScenarioGrid`](grid::ScenarioGrid) — cartesian or sampled expansion
 //!   into concrete [`Scenario`](scenario::Scenario) points with
 //!   deterministic per-point seed addresses,
@@ -70,13 +71,16 @@ pub use agg::{
 pub use checkpoint::{sweep_fingerprint, Checkpoint};
 pub use exec::{shard_range, Executor, StreamSummary, SweepResult};
 pub use grid::ScenarioGrid;
-pub use memo::{hash_taskset, MemoCache, MemoStats, PartitionKey, ProblemKey, SharedPartition};
+pub use memo::{
+    hash_taskset, AllocationKey, MemoCache, MemoStats, PartitionKey, ProblemKey, SharedAllocation,
+    SharedPartition,
+};
 pub use rt_core::Time;
 pub use scenario::{DetectionStats, Scenario, ScenarioOutcome};
 pub use sink::{CsvSink, JsonlSink, NullSink, OutcomeSink, TeeSink, VecSink};
 pub use spec::{
-    AllocatorKind, Evaluation, Expansion, ScenarioSpec, SyntheticOverrides, UtilizationGrid,
-    Workload,
+    AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
+    UtilizationGrid, Workload,
 };
 
 /// Convenience re-exports for sweep definitions.
@@ -89,7 +93,7 @@ pub mod prelude {
         to_csv, to_jsonl, write_outputs, CsvSink, JsonlSink, NullSink, OutcomeSink, VecSink,
     };
     pub use crate::spec::{
-        AllocatorKind, Evaluation, Expansion, ScenarioSpec, SyntheticOverrides, UtilizationGrid,
-        Workload,
+        AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
+        UtilizationGrid, Workload,
     };
 }

@@ -1,10 +1,11 @@
 //! Cross-scenario memoization.
 //!
-//! Three scenario points frequently share expensive intermediate work:
+//! Four kinds of expensive intermediate work are shared across scenario
+//! points:
 //!
-//! * scenarios differing only in the **allocator** axis share the identical
-//!   generated problem (same seed-stream address), so task-set generation
-//!   runs once per address, not once per scheme;
+//! * scenarios differing only in the **allocator** or **period-policy**
+//!   axis share the identical generated problem (same seed-stream address),
+//!   so task-set generation runs once per address, not once per scheme;
 //! * the Eq. (1) **necessary-condition** filter depends only on the
 //!   real-time task set and the core count, so its verdict is cached keyed
 //!   by `(task-set hash, cores)`;
@@ -12,7 +13,10 @@
 //!   partitioning config)` — every scheme sweeping the same problem reuses
 //!   it instead of re-running `partition_tasks` per axis point (the
 //!   SingleCore scheme shares the `M − 1`-core partition under the same
-//!   key family).
+//!   key family);
+//! * the **allocation** (placement search) depends only on `(problem,
+//!   scheme)` — the period-policy axis re-derives periods from one shared
+//!   allocator run instead of repeating the search per policy.
 //!
 //! The cache is sharded to keep lock contention negligible under the
 //! work-stealing executor; every entry is immutable once inserted (`Arc`ed
@@ -22,9 +26,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use hydra_core::AllocationProblem;
+use hydra_core::{Allocation, AllocationError, AllocationProblem};
 use rt_core::{TaskId, TaskSet};
 use rt_partition::{Partition, PartitionConfig};
+
+use crate::spec::AllocatorKind;
 
 const SHARDS: usize = 32;
 
@@ -43,6 +49,18 @@ pub struct ProblemKey {
     /// Fingerprint of generator overrides (different overrides generate
     /// different problems from the same address).
     pub config_fingerprint: u64,
+}
+
+/// Identifies one allocator run: the exact problem instance plus the scheme.
+/// Scenarios differing only in the **period policy** share this key — the
+/// placement search runs once and each policy re-derives its periods from
+/// the shared result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationKey {
+    /// The generated problem's identity.
+    pub problem: ProblemKey,
+    /// The allocation scheme that ran.
+    pub allocator: AllocatorKind,
 }
 
 /// Identifies one real-time partitioning result.
@@ -95,11 +113,21 @@ pub struct MemoStats {
     /// Partition-cache misses — one per unique `(task set, cores, config)`
     /// key, **not** per scenario.
     pub partition_misses: u64,
+    /// Allocation-cache hits (a placement search elided — the period-policy
+    /// axis reuses one allocator run per `(problem, scheme)` key).
+    pub allocation_hits: u64,
+    /// Allocation-cache misses (the allocator actually ran).
+    pub allocation_misses: u64,
 }
 
 /// A cached partitioning result: the partition, or the task that could not
 /// be placed (failures cache too).
 pub type SharedPartition = Arc<Result<Partition, TaskId>>;
+
+/// A cached allocator run: the allocation, or the scheme's rejection
+/// (failures cache too — an unschedulable task set fails once per scheme,
+/// not once per period policy).
+pub type SharedAllocation = Arc<Result<Allocation, AllocationError>>;
 
 /// The shared memoization cache of one sweep execution.
 #[derive(Debug, Default)]
@@ -107,12 +135,15 @@ pub struct MemoCache {
     problems: Vec<Mutex<HashMap<ProblemKey, Arc<AllocationProblem>>>>,
     feasibility: Vec<Mutex<HashMap<(u64, usize), bool>>>,
     partitions: Vec<Mutex<HashMap<PartitionKey, SharedPartition>>>,
+    allocations: Vec<Mutex<HashMap<AllocationKey, SharedAllocation>>>,
     problem_hits: AtomicU64,
     problem_misses: AtomicU64,
     feasibility_hits: AtomicU64,
     feasibility_misses: AtomicU64,
     partition_hits: AtomicU64,
     partition_misses: AtomicU64,
+    allocation_hits: AtomicU64,
+    allocation_misses: AtomicU64,
 }
 
 impl MemoCache {
@@ -123,12 +154,15 @@ impl MemoCache {
             problems: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             feasibility: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             partitions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            allocations: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             problem_hits: AtomicU64::new(0),
             problem_misses: AtomicU64::new(0),
             feasibility_hits: AtomicU64::new(0),
             feasibility_misses: AtomicU64::new(0),
             partition_hits: AtomicU64::new(0),
             partition_misses: AtomicU64::new(0),
+            allocation_hits: AtomicU64::new(0),
+            allocation_misses: AtomicU64::new(0),
         }
     }
 
@@ -210,6 +244,33 @@ impl MemoCache {
         Arc::clone(guard.entry(key).or_insert(built))
     }
 
+    /// Returns the cached allocator run for `key`, computing it with
+    /// `build` on a miss. The period-policy axis calls this once per
+    /// scenario but the placement search runs once per `(problem, scheme)`
+    /// key; rejections cache too. Like the other families, the lock is not
+    /// held while `build` runs — racing builders of the same key may both
+    /// run the deterministic allocator and either result wins.
+    pub fn allocation(
+        &self,
+        key: AllocationKey,
+        build: impl FnOnce() -> Result<Allocation, AllocationError>,
+    ) -> SharedAllocation {
+        let shard = &self.allocations[Self::shard_of(
+            key.problem
+                .stream
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((key.allocator as u64).rotate_left(12)),
+        )];
+        if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
+            self.allocation_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.allocation_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut guard = shard.lock().expect("memo shard poisoned");
+        Arc::clone(guard.entry(key).or_insert(built))
+    }
+
     /// Snapshot of the hit/miss counters.
     #[must_use]
     pub fn stats(&self) -> MemoStats {
@@ -220,6 +281,8 @@ impl MemoCache {
             feasibility_misses: self.feasibility_misses.load(Ordering::Relaxed),
             partition_hits: self.partition_hits.load(Ordering::Relaxed),
             partition_misses: self.partition_misses.load(Ordering::Relaxed),
+            allocation_hits: self.allocation_hits.load(Ordering::Relaxed),
+            allocation_misses: self.allocation_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -323,6 +386,43 @@ mod tests {
         };
         let _ = cache.partition(other_config, || Ok(Partition::new(4, 2)));
         assert_eq!(cache.stats().partition_misses, 3);
+    }
+
+    #[test]
+    fn allocations_are_cached_including_rejections() {
+        let cache = MemoCache::new();
+        let key = AllocationKey {
+            problem: key(1),
+            allocator: AllocatorKind::Hydra,
+        };
+        let mut calls = 0;
+        for _ in 0..3 {
+            let a = cache.allocation(key, || {
+                calls += 1;
+                Ok(Allocation::new(Partition::new(0, 2), Vec::new()))
+            });
+            assert!(a.is_ok());
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().allocation_misses, 1);
+        assert_eq!(cache.stats().allocation_hits, 2);
+        // A different scheme on the same problem is a different entry, and
+        // rejections cache too.
+        let other = AllocationKey {
+            allocator: AllocatorKind::SingleCore,
+            ..key
+        };
+        for _ in 0..2 {
+            let a = cache.allocation(other, || {
+                Err(AllocationError::InsufficientCores {
+                    available: 1,
+                    required: 2,
+                })
+            });
+            assert!(a.is_err());
+        }
+        assert_eq!(cache.stats().allocation_misses, 2);
+        assert_eq!(cache.stats().allocation_hits, 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Concrete scenario points and their evaluation results.
 
-use crate::spec::AllocatorKind;
+use crate::spec::{AllocatorKind, PeriodPolicy};
 
 /// One fully-specified point of the design space: what to generate, which
 /// scheme to run, and the deterministic seed address to use.
@@ -16,12 +16,15 @@ pub struct Scenario {
     pub utilization: Option<f64>,
     /// The allocation scheme under test.
     pub allocator: AllocatorKind,
+    /// The post-allocation period policy under test.
+    pub policy: PeriodPolicy,
     /// Trial number within the `(cores, utilization)` point.
     pub trial: usize,
     /// The problem's seed-stream address. Scenarios that differ only in
-    /// `allocator` share this address — and therefore the identical problem
-    /// instance — which is what makes cross-scheme comparisons paired and
-    /// lets the memoization layer elide regeneration.
+    /// `allocator` and/or `policy` share this address — and therefore the
+    /// identical problem instance — which is what makes cross-scheme and
+    /// cross-policy comparisons paired and lets the memoization layer elide
+    /// regeneration.
     pub problem_stream: u64,
 }
 
@@ -109,10 +112,21 @@ pub struct ScenarioOutcome {
     /// Achieved total utilization of the generated problem (WCET rounding
     /// moves it slightly off the requested grid value).
     pub total_utilization: f64,
-    /// Cumulative tightness `Σ ω_s · η_s` of the allocation.
+    /// Cumulative tightness `Σ ω_s · η_s` of the allocation (after the
+    /// scenario's period policy was applied).
     pub cumulative_tightness: Option<f64>,
     /// Mean per-task tightness of the allocation.
     pub mean_tightness: Option<f64>,
+    /// Mean normalised period slack `(T^max − T)/T^max` over the placed
+    /// security tasks — how far the granted periods stay from the point
+    /// where monitoring becomes ineffective. `None` when nothing scheduled
+    /// or the security set is empty.
+    pub period_slack: Option<f64>,
+    /// Achieved-vs-desired monitoring frequency ratio
+    /// `Σ 1/T_s / Σ 1/T_s^des ∈ (0, 1]` — `1` means every check runs at the
+    /// rate the designer asked for. `None` when nothing scheduled or the
+    /// security set is empty.
+    pub freq_ratio: Option<f64>,
     /// Detection statistics (only for detection scenarios that scheduled).
     pub detection: Option<DetectionStats>,
 }
@@ -136,6 +150,8 @@ impl ScenarioOutcome {
             total_utilization,
             cumulative_tightness: None,
             mean_tightness: None,
+            period_slack: None,
+            freq_ratio: None,
             detection: None,
         }
     }
@@ -178,6 +194,7 @@ mod tests {
             cores: 4,
             utilization: Some(3.9),
             allocator: AllocatorKind::Hydra,
+            policy: crate::spec::PeriodPolicy::Fixed,
             trial: 0,
             problem_stream: 17,
         };

@@ -62,13 +62,15 @@ pub fn outcome_to_json(outcome: &ScenarioOutcome) -> String {
     let mut line = String::with_capacity(256);
     let _ = write!(
         line,
-        "{{\"index\":{},\"cores\":{},\"utilization\":{},\"allocator\":\"{}\",\"trial\":{},\
-         \"stream\":{},\"feasible\":{},\"schedulable\":{},\"n_rt\":{},\"n_sec\":{},\
-         \"total_utilization\":{},\"cumulative_tightness\":{},\"mean_tightness\":{}",
+        "{{\"index\":{},\"cores\":{},\"utilization\":{},\"allocator\":\"{}\",\"policy\":\"{}\",\
+         \"trial\":{},\"stream\":{},\"feasible\":{},\"schedulable\":{},\"n_rt\":{},\"n_sec\":{},\
+         \"total_utilization\":{},\"cumulative_tightness\":{},\"mean_tightness\":{},\
+         \"period_slack\":{},\"freq_ratio\":{}",
         s.index,
         s.cores,
         opt_f64(s.utilization),
         s.allocator.label(),
+        s.policy.label(),
         s.trial,
         s.problem_stream,
         outcome.feasible,
@@ -78,6 +80,8 @@ pub fn outcome_to_json(outcome: &ScenarioOutcome) -> String {
         json_f64(outcome.total_utilization),
         opt_f64(outcome.cumulative_tightness),
         opt_f64(outcome.mean_tightness),
+        opt_f64(outcome.period_slack),
+        opt_f64(outcome.freq_ratio),
     );
     if let Some(error) = &outcome.error {
         let _ = write!(line, ",\"error\":\"{}\"", json_escape(error));
@@ -101,9 +105,10 @@ pub fn outcome_to_json(outcome: &ScenarioOutcome) -> String {
 }
 
 /// The header line of the per-scenario CSV rendering (no trailing newline).
-pub const CSV_HEADER: &str = "index,cores,utilization,allocator,trial,stream,feasible,\
+pub const CSV_HEADER: &str = "index,cores,utilization,allocator,policy,trial,stream,feasible,\
                               schedulable,n_rt,n_sec,total_utilization,cumulative_tightness,\
-                              mean_tightness,detected,missed,mean_detection_ms";
+                              mean_tightness,period_slack,freq_ratio,detected,missed,\
+                              mean_detection_ms";
 
 /// Renders one outcome as a CSV row matching [`CSV_HEADER`] (no newline).
 #[must_use]
@@ -111,11 +116,12 @@ pub fn outcome_to_csv_row(outcome: &ScenarioOutcome) -> String {
     let s = &outcome.scenario;
     let csv_opt = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v}"));
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         s.index,
         s.cores,
         csv_opt(s.utilization),
         s.allocator.label(),
+        s.policy.label(),
         s.trial,
         s.problem_stream,
         outcome.feasible,
@@ -125,6 +131,8 @@ pub fn outcome_to_csv_row(outcome: &ScenarioOutcome) -> String {
         outcome.total_utilization,
         csv_opt(outcome.cumulative_tightness),
         csv_opt(outcome.mean_tightness),
+        csv_opt(outcome.period_slack),
+        csv_opt(outcome.freq_ratio),
         outcome
             .detection
             .as_ref()
@@ -383,15 +391,16 @@ pub fn to_csv(outcomes: &[ScenarioOutcome]) -> String {
 #[must_use]
 pub fn summary_to_csv(rows: &[AggregateRow]) -> String {
     let mut out = String::from(
-        "cores,allocator,utilization,scenarios,feasible,scheduled,acceptance_ratio,\
+        "cores,allocator,policy,utilization,scenarios,feasible,scheduled,acceptance_ratio,\
          mean_tightness,p50_tightness,p99_tightness\n",
     );
     for row in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             row.cores,
             row.allocator.label(),
+            row.policy.label(),
             row.utilization.map_or(String::new(), |v| format!("{v}")),
             row.scenarios,
             row.feasible,
@@ -540,6 +549,7 @@ mod tests {
             cores: 2,
             utilization: None,
             allocator: AllocatorKind::Hydra,
+            policy: crate::spec::PeriodPolicy::Fixed,
             trial: 0,
             problem_stream: 0,
         };

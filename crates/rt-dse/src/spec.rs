@@ -8,7 +8,8 @@
 
 use hydra_core::allocator::{Allocator, HydraAllocator, OptimalAllocator, SingleCoreAllocator};
 use hydra_core::precedence::{table1_precedence, PrecedenceGraph};
-use hydra_core::{NpHydraAllocator, PrecedenceHydraAllocator};
+use hydra_core::{readapt_allocation, JointOptions};
+use hydra_core::{Allocation, AllocationProblem, NpHydraAllocator, PrecedenceHydraAllocator};
 use taskgen::SyntheticConfig;
 
 /// The allocation schemes the sweep engine can compare.
@@ -62,6 +63,23 @@ impl AllocatorKind {
         }
     }
 
+    /// Whether this scheme's granted periods may be re-optimised after
+    /// allocation by the [`PeriodPolicy::Adapt`]/[`PeriodPolicy::Joint`]
+    /// passes, which work per core under the base preemptive model of
+    /// Eq. (5)/(7).
+    ///
+    /// The precedence scheme is excluded: it guarantees every successor's
+    /// period is at least its predecessor's *across cores*, an invariant a
+    /// per-core pass cannot see, let alone preserve. Its allocations keep
+    /// the granted periods under every policy. (The non-preemptive scheme
+    /// stays eligible — re-optimised periods ignore its blocking term and
+    /// are documented as an upper bound, but no hard ordering invariant
+    /// breaks.)
+    #[must_use]
+    pub fn supports_period_reoptimization(self) -> bool {
+        !matches!(self, AllocatorKind::Precedence)
+    }
+
     /// Builds the allocator for a problem with `security_task_count` tasks.
     ///
     /// The precedence scheme receives the Table I precedence graph when the
@@ -81,6 +99,77 @@ impl AllocatorKind {
                 Box::new(PrecedenceHydraAllocator::new(graph))
             }
             AllocatorKind::Optimal => Box::new(OptimalAllocator::default()),
+        }
+    }
+}
+
+/// What happens to the security-task periods **after** an allocation scheme
+/// has placed the tasks — the *period policy* axis of the design space.
+///
+/// The DATE 2018 paper fixes each period at allocation time; the follow-up
+/// "Period Adaptation for Continuous Security Monitoring in Multicore
+/// Real-Time Systems" (Hasan et al., 2019) shows that re-optimising periods
+/// once the assignment is known changes the achievable monitoring frequency.
+/// Scenarios that differ only in this axis share their seed address *and*
+/// their allocator, so policy comparisons are paired exactly like the
+/// allocator axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PeriodPolicy {
+    /// Keep the periods the allocator granted (the paper's behaviour).
+    Fixed,
+    /// Re-run the closed-form Eq. (7) adaptation per core in priority order
+    /// (greedy smallest feasible periods given the final assignment).
+    Adapt,
+    /// Jointly re-optimise every core's period vector with the
+    /// coordinate-ascent refinement of `hydra_core::joint` — may stretch a
+    /// high-priority period to recover cumulative tightness below it.
+    Joint,
+}
+
+impl PeriodPolicy {
+    /// Every policy, in canonical order.
+    pub const ALL: [PeriodPolicy; 3] = [
+        PeriodPolicy::Fixed,
+        PeriodPolicy::Adapt,
+        PeriodPolicy::Joint,
+    ];
+
+    /// Stable lower-case label used in output records and CLI flags.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PeriodPolicy::Fixed => "fixed",
+            PeriodPolicy::Adapt => "adapt",
+            PeriodPolicy::Joint => "joint",
+        }
+    }
+
+    /// Parses a label (as produced by [`PeriodPolicy::label`], case
+    /// insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "fixed" | "none" => Some(PeriodPolicy::Fixed),
+            "adapt" | "adaptive" | "greedy" => Some(PeriodPolicy::Adapt),
+            "joint" => Some(PeriodPolicy::Joint),
+            _ => None,
+        }
+    }
+
+    /// Applies the policy to a finished allocation: [`PeriodPolicy::Fixed`]
+    /// is the identity, the other two are post-allocation re-optimisation
+    /// passes over the same core assignment (see
+    /// [`hydra_core::readapt_allocation`]).
+    #[must_use]
+    pub fn apply(self, problem: &AllocationProblem, allocation: Allocation) -> Allocation {
+        match self {
+            PeriodPolicy::Fixed => allocation,
+            PeriodPolicy::Adapt => {
+                readapt_allocation(problem, &allocation, &JointOptions::greedy_only())
+            }
+            PeriodPolicy::Joint => {
+                readapt_allocation(problem, &allocation, &JointOptions::default())
+            }
         }
     }
 }
@@ -230,6 +319,10 @@ pub struct ScenarioSpec {
     pub utilizations: UtilizationGrid,
     /// Allocation schemes to compare.
     pub allocators: Vec<AllocatorKind>,
+    /// Period policies to compare (post-allocation period handling). Policy
+    /// variants of one point share the allocator *and* the seed address, so
+    /// the comparison is paired.
+    pub period_policies: Vec<PeriodPolicy>,
     /// Independent task sets per `(cores, utilization)` point.
     pub trials: usize,
     /// Base seed; every scenario derives its own independent sub-seed.
@@ -250,6 +343,7 @@ impl ScenarioSpec {
             cores: vec![2, 4, 8],
             utilizations: UtilizationGrid::PaperSweep,
             allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            period_policies: vec![PeriodPolicy::Fixed],
             trials: 25,
             base_seed: 2018,
             expansion: Expansion::Cartesian,
@@ -269,6 +363,7 @@ impl ScenarioSpec {
             cores: vec![2, 4, 8],
             utilizations: UtilizationGrid::NotApplicable,
             allocators: vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+            period_policies: vec![PeriodPolicy::Fixed],
             trials: 1,
             base_seed: 2018,
             expansion: Expansion::Cartesian,
@@ -294,6 +389,28 @@ mod tests {
             Some(AllocatorKind::SingleCore)
         );
         assert_eq!(AllocatorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn policy_labels_round_trip_through_parse() {
+        for policy in PeriodPolicy::ALL {
+            assert_eq!(PeriodPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(PeriodPolicy::parse("ADAPT"), Some(PeriodPolicy::Adapt));
+        assert_eq!(PeriodPolicy::parse("greedy"), Some(PeriodPolicy::Adapt));
+        assert_eq!(PeriodPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn specs_default_to_the_fixed_policy() {
+        assert_eq!(
+            ScenarioSpec::synthetic("s").period_policies,
+            vec![PeriodPolicy::Fixed]
+        );
+        assert_eq!(
+            ScenarioSpec::uav_detection("u", 60, 10).period_policies,
+            vec![PeriodPolicy::Fixed]
+        );
     }
 
     #[test]

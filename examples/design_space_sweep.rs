@@ -33,6 +33,7 @@ fn main() {
             AllocatorKind::SingleCore,
             AllocatorKind::Optimal,
         ],
+        period_policies: vec![PeriodPolicy::Fixed],
         trials: 30,
         base_seed: 1000,
         expansion: Expansion::Cartesian,

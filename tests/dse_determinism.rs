@@ -23,31 +23,44 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         2usize..=3,      // utilization steps
         0usize..=2,      // cores-axis selector
         0usize..=2,      // allocator-pair selector
+        0usize..=2,      // period-policy selector
     )
-        .prop_map(|(base_seed, trials, steps, cores_sel, alloc_sel)| {
-            let cores = match cores_sel {
-                0 => vec![2],
-                1 => vec![4],
-                _ => vec![2, 4],
-            };
-            let allocators = match alloc_sel {
-                0 => vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
-                1 => vec![AllocatorKind::Hydra, AllocatorKind::NpHydra],
-                _ => vec![
-                    AllocatorKind::Hydra,
-                    AllocatorKind::SingleCore,
-                    AllocatorKind::NpHydra,
-                ],
-            };
-            let mut spec = ScenarioSpec::synthetic("determinism");
-            spec.cores = cores;
-            // Stay in the low-to-mid utilization band so the sweep runs fast.
-            spec.utilizations = UtilizationGrid::NormalizedSteps(steps);
-            spec.allocators = allocators;
-            spec.trials = trials;
-            spec.base_seed = base_seed;
-            spec
-        })
+        .prop_map(
+            |(base_seed, trials, steps, cores_sel, alloc_sel, policy_sel)| {
+                let cores = match cores_sel {
+                    0 => vec![2],
+                    1 => vec![4],
+                    _ => vec![2, 4],
+                };
+                let allocators = match alloc_sel {
+                    0 => vec![AllocatorKind::Hydra, AllocatorKind::SingleCore],
+                    1 => vec![AllocatorKind::Hydra, AllocatorKind::NpHydra],
+                    _ => vec![
+                        AllocatorKind::Hydra,
+                        AllocatorKind::SingleCore,
+                        AllocatorKind::NpHydra,
+                    ],
+                };
+                let period_policies = match policy_sel {
+                    0 => vec![PeriodPolicy::Fixed],
+                    1 => vec![PeriodPolicy::Fixed, PeriodPolicy::Adapt],
+                    _ => vec![
+                        PeriodPolicy::Fixed,
+                        PeriodPolicy::Adapt,
+                        PeriodPolicy::Joint,
+                    ],
+                };
+                let mut spec = ScenarioSpec::synthetic("determinism");
+                spec.cores = cores;
+                // Stay in the low-to-mid utilization band so the sweep runs fast.
+                spec.utilizations = UtilizationGrid::NormalizedSteps(steps);
+                spec.allocators = allocators;
+                spec.period_policies = period_policies;
+                spec.trials = trials;
+                spec.base_seed = base_seed;
+                spec
+            },
+        )
 }
 
 proptest! {
@@ -138,11 +151,18 @@ fn shard_streams_concatenate_to_the_full_run_at_any_thread_count() {
         AllocatorKind::SingleCore,
         AllocatorKind::NpHydra,
     ];
+    // Shard boundaries may fall *inside* a policy triple: concatenation must
+    // still be exact, so the sharded spec carries the full policy axis.
+    spec.period_policies = vec![
+        PeriodPolicy::Fixed,
+        PeriodPolicy::Adapt,
+        PeriodPolicy::Joint,
+    ];
     spec.trials = 2;
     let full = Executor::serial().run(&spec);
     let (full_jsonl, full_csv) = (to_jsonl(&full.outcomes), to_csv(&full.outcomes));
     let n = full.outcomes.len();
-    assert_eq!(n, 36);
+    assert_eq!(n, 108);
     for threads in [1usize, 3] {
         for count in [2usize, 5] {
             let mut jsonl = Vec::new();
@@ -192,6 +212,46 @@ fn a_killed_and_resumed_run_is_byte_identical_to_one_full_sweep() {
             full_csv,
             "resume after {cut} (CSV)"
         );
+    }
+}
+
+#[test]
+fn three_policy_paired_sweeps_are_byte_identical_across_thread_counts() {
+    // The acceptance property of the period-policy axis: a paired
+    // fixed/adapt/joint sweep serializes to the identical bytes no matter
+    // how many workers evaluate it, and the policy variants of every point
+    // share their problem instance.
+    let mut spec = ScenarioSpec::synthetic("policy-paired");
+    spec.cores = vec![2, 4];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(3);
+    spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
+    spec.period_policies = vec![
+        PeriodPolicy::Fixed,
+        PeriodPolicy::Adapt,
+        PeriodPolicy::Joint,
+    ];
+    spec.trials = 2;
+    let serial = Executor::serial().run(&spec);
+    for threads in [2usize, 4] {
+        let parallel = Executor::with_threads(threads).run(&spec);
+        assert_eq!(to_jsonl(&serial.outcomes), to_jsonl(&parallel.outcomes));
+        assert_eq!(to_csv(&serial.outcomes), to_csv(&parallel.outcomes));
+        assert_eq!(
+            summary_to_csv(&aggregate(&serial.outcomes)),
+            summary_to_csv(&aggregate(&parallel.outcomes))
+        );
+    }
+    // Pairing: the three policy variants of each (point, allocator) report
+    // the identical generated problem.
+    for triple in serial.outcomes.chunks(3) {
+        assert_eq!(
+            triple[0].scenario.problem_stream,
+            triple[2].scenario.problem_stream
+        );
+        assert_eq!(triple[0].scenario.allocator, triple[1].scenario.allocator);
+        assert_eq!(triple[0].n_rt, triple[2].n_rt);
+        assert_eq!(triple[0].n_sec, triple[2].n_sec);
+        assert_eq!(triple[0].total_utilization, triple[2].total_utilization);
     }
 }
 

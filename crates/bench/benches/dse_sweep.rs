@@ -125,41 +125,7 @@ fn gate_spec() -> ScenarioSpec {
     spec
 }
 
-/// Peak resident-set size of this process in bytes (Linux `VmHWM`), or
-/// `None` where `/proc` is unavailable.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
-}
-
-/// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD` locally.
-fn git_sha() -> String {
-    if let Ok(sha) = std::env::var("GITHUB_SHA") {
-        return sha;
-    }
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_owned())
-        .unwrap_or_else(|| "unknown".to_owned())
-}
-
-/// Extracts `"key": <number>` from a flat JSON document — enough to read the
-/// checked-in baseline without a JSON dependency.
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
+use hydra_bench::gate::{git_sha, json_number, peak_rss_bytes};
 
 /// The CI throughput gate. Times the fixed gate workload, emits
 /// `BENCH_sweep.json`, and fails on a >25 % scenarios/sec regression
@@ -188,6 +154,7 @@ fn bench_gate(_c: &mut Criterion) {
         .ok()
         .and_then(|text| json_number(&text, "scenarios_per_sec"));
     let floor = baseline.map(|b| b * 0.75);
+    let ratio = baseline.map(|b| scenarios_per_sec / b);
     let pass = floor.is_none_or(|f| scenarios_per_sec >= f);
 
     let json = format!(
@@ -195,7 +162,7 @@ fn bench_gate(_c: &mut Criterion) {
          \"threads\": {},\n  \"scenarios_evaluated\": {},\n  \"elapsed_secs\": {:.3},\n  \
          \"scenarios_per_sec\": {:.1},\n  \"peak_rss_bytes\": {},\n  \
          \"baseline_scenarios_per_sec\": {},\n  \"gate_floor_scenarios_per_sec\": {},\n  \
-         \"gate\": \"{}\"\n}}\n",
+         \"measured_vs_baseline_ratio\": {},\n  \"gate\": \"{}\"\n}}\n",
         git_sha(),
         grid_size,
         threads,
@@ -205,13 +172,16 @@ fn bench_gate(_c: &mut Criterion) {
         peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string()),
         baseline.map_or_else(|| "null".to_owned(), |b| format!("{b:.1}")),
         floor.map_or_else(|| "null".to_owned(), |f| format!("{f:.1}")),
+        ratio.map_or_else(|| "null".to_owned(), |r| format!("{r:.3}")),
         if pass { "pass" } else { "fail" },
     );
     let out_path = std::env::var("BENCH_SWEEP_JSON")
         .unwrap_or_else(|_| format!("{workspace}/BENCH_sweep.json"));
     std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
     println!(
-        "bench_gate: {scenarios_per_sec:.0} scenarios/s over {grid_size}-point grid -> {out_path}"
+        "bench_gate: {scenarios_per_sec:.0} scenarios/s over {grid_size}-point grid \
+         ({} of baseline) -> {out_path}",
+        ratio.map_or_else(|| "no baseline".to_owned(), |r| format!("{r:.2}x")),
     );
 
     if std::env::var("BENCH_GATE_SKIP").is_ok() {

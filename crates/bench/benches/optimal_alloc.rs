@@ -1,7 +1,9 @@
-//! Criterion bench: cost of the exhaustive Optimal allocator vs HYDRA on the
-//! small instances of the Figure 3 setup — the "exponential computational
-//! complexity" the paper cites as the reason HYDRA's ≤ 22 % tightness gap is
-//! an acceptable trade.
+//! Criterion bench: cost of the Optimal allocator (branch-and-bound over the
+//! `M^{N_S}` assignment space, identical result to plain enumeration) vs
+//! HYDRA on the small instances of the Figure 3 setup — the "exponential
+//! computational complexity" the paper cites as the reason HYDRA's ≤ 22 %
+//! tightness gap is an acceptable trade. The `sim_kernel` bench additionally
+//! gates the search's prune ratio in CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hydra_core::allocator::{Allocator, HydraAllocator, OptimalAllocator};

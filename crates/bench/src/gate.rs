@@ -1,0 +1,62 @@
+//! Shared plumbing of the CI bench gates (`dse_sweep`, `sim_kernel`): the
+//! machine-readable `BENCH_*.json` records need the commit under test, the
+//! process's peak RSS, and a way to read numbers out of the checked-in
+//! baseline files without pulling in a JSON dependency.
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The commit under test: `GITHUB_SHA` in CI, `git rev-parse HEAD` locally.
+#[must_use]
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        return sha;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Extracts `"key": <number>` from a flat JSON document — enough to read a
+/// checked-in baseline without a JSON dependency.
+#[must_use]
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_reads_flat_documents() {
+        let doc = r#"{ "a": 4000.0, "nested": -1.5e3, "int": 7 }"#;
+        assert_eq!(json_number(doc, "a"), Some(4000.0));
+        assert_eq!(json_number(doc, "nested"), Some(-1500.0));
+        assert_eq!(json_number(doc, "int"), Some(7.0));
+        assert_eq!(json_number(doc, "missing"), None);
+    }
+
+    #[test]
+    fn git_sha_is_never_empty() {
+        assert!(!git_sha().is_empty());
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`period_policy`] — the fixed/adapt/joint period-policy tightness CDFs
 //!   (the follow-up period-adaptation comparison),
 //! * [`table1`] — the security-task catalogue (Table I),
-//! * [`report`] — small CSV/console reporting helpers shared by the binaries.
+//! * [`report`] — small CSV/console reporting helpers shared by the binaries,
+//! * [`gate`] — shared plumbing of the CI bench gates (peak RSS, git SHA,
+//!   baseline parsing for the `BENCH_*.json` records).
 //!
 //! Each binary in `src/bin/` is a thin wrapper over the corresponding module
 //! so the same experiment code is reachable from integration tests.
@@ -21,6 +23,7 @@
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod gate;
 pub mod period_policy;
 pub mod report;
 pub mod table1;

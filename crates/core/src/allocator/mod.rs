@@ -9,7 +9,7 @@ mod optimal;
 mod single_core;
 
 pub use hydra::{CoreSelection, HydraAllocator};
-pub use optimal::OptimalAllocator;
+pub use optimal::{OptimalAllocator, SearchStats};
 pub use single_core::SingleCoreAllocator;
 
 use rt_partition::Partition;

@@ -398,21 +398,23 @@ impl SecurityTaskSet {
 
     /// Ids sorted from highest to lowest priority (ascending `T^max`,
     /// ties broken by id) — the iteration order of HYDRA's outer loop.
+    /// Borrows the cached order; no allocation per call.
     #[must_use]
-    pub fn ids_by_priority(&self) -> Vec<SecurityTaskId> {
-        self.priority_order().to_vec()
+    pub fn ids_by_priority(&self) -> &[SecurityTaskId] {
+        self.priority_order()
     }
 
     /// Ids of the tasks with strictly higher priority than `id`, in priority
-    /// order. O(n) over the cached order — safe to call inside per-task
-    /// loops.
-    #[must_use]
-    pub fn higher_priority_than(&self, id: SecurityTaskId) -> Vec<SecurityTaskId> {
+    /// order. An allocation-free iterator over the cached order — safe to
+    /// call inside per-task loops.
+    pub fn higher_priority_than(
+        &self,
+        id: SecurityTaskId,
+    ) -> impl Iterator<Item = SecurityTaskId> + '_ {
         self.priority_order()
             .iter()
             .copied()
-            .take_while(|&other| other != id)
-            .collect()
+            .take_while(move |&other| other != id)
     }
 
     /// Total utilisation if every task ran at its desired period (an upper
@@ -567,10 +569,11 @@ mod tests {
             vec![SecurityTaskId(1), SecurityTaskId(2), SecurityTaskId(0)]
         );
         assert_eq!(
-            set.higher_priority_than(SecurityTaskId(0)),
+            set.higher_priority_than(SecurityTaskId(0))
+                .collect::<Vec<_>>(),
             vec![SecurityTaskId(1), SecurityTaskId(2)]
         );
-        assert!(set.higher_priority_than(SecurityTaskId(1)).is_empty());
+        assert_eq!(set.higher_priority_than(SecurityTaskId(1)).count(), 0);
     }
 
     #[test]

@@ -33,10 +33,10 @@ use hydra_core::{Allocation, AllocationError, AllocationProblem};
 use rt_core::dbf::necessary_condition_default_horizon;
 use rt_core::Time;
 use rt_partition::partition_tasks;
-use rt_sim::attack::AttackScenario;
-use rt_sim::detection::detection_latencies_ms;
-use rt_sim::engine::{simulate, SimConfig};
-use rt_sim::workload::simulation_tasks;
+use rt_sim::attack::{AttackScenario, InjectedAttack};
+use rt_sim::detection::OnlineDetector;
+use rt_sim::engine::{simulate_with_scratch, SimConfig, SimScratch};
+use rt_sim::workload::{simulation_tasks_into, SimTask, TaskKind};
 use taskgen::{derive_seed, generate_problem_seeded};
 
 use crate::agg::SweepAccumulator;
@@ -145,6 +145,37 @@ pub struct Executor {
     threads: usize,
 }
 
+/// Per-worker reusable evaluation buffers. Each worker thread owns one
+/// scratch for the whole sweep, so the steady-state per-scenario evaluation
+/// of the hot detection path — building the simulator workload, generating
+/// the attack schedule, running the event-driven simulation and folding the
+/// detection latencies — recycles these buffers instead of allocating.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// The simulator workload (`SimTask` names reuse their `String`s).
+    tasks: Vec<SimTask>,
+    /// The injected attack schedule.
+    attacks: Vec<InjectedAttack>,
+    /// The attack-target cycle (`0..n_sec`).
+    targets: Vec<usize>,
+    /// Which cores host at least one attacked security task.
+    core_monitored: Vec<bool>,
+    /// Sorted latency samples staged for the outcome record.
+    latencies: Vec<f64>,
+    /// The event-driven engine's heaps and member lists.
+    sim: SimScratch,
+    /// The streaming detection observer.
+    detector: OnlineDetector,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
 /// The in-order emission state shared by all workers: a reorder buffer over
 /// the out-of-order completions plus the sink it drains into.
 struct Drain<'s> {
@@ -247,8 +278,9 @@ impl Executor {
 
         let partial = if threads <= 1 {
             let mut acc = SweepAccumulator::new();
+            let mut scratch = EvalScratch::new();
             for scenario in slice {
-                let outcome = evaluate(spec, scenario, &memo);
+                let outcome = evaluate(spec, scenario, &memo, &mut scratch);
                 acc.record(&outcome);
                 sink.record(&outcome)?;
             }
@@ -298,6 +330,7 @@ impl Executor {
             for _ in 0..threads {
                 scope.spawn(|| {
                     let mut local = SweepAccumulator::new();
+                    let mut scratch = EvalScratch::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= slice.len() {
@@ -316,7 +349,7 @@ impl Executor {
                                 break;
                             }
                         }
-                        let outcome = evaluate(spec, &slice[i], memo);
+                        let outcome = evaluate(spec, &slice[i], memo, &mut scratch);
                         local.record(&outcome);
                         let mut state = drain.lock().expect("drain poisoned");
                         state.pending.insert(i, outcome);
@@ -359,8 +392,13 @@ impl Executor {
     }
 }
 
-/// Evaluates a single scenario point.
-fn evaluate(spec: &ScenarioSpec, scenario: &Scenario, memo: &MemoCache) -> ScenarioOutcome {
+/// Evaluates a single scenario point, reusing the worker's `scratch`.
+fn evaluate(
+    spec: &ScenarioSpec,
+    scenario: &Scenario,
+    memo: &MemoCache,
+    scratch: &mut EvalScratch,
+) -> ScenarioOutcome {
     match &spec.workload {
         Workload::Synthetic(overrides) => {
             let utilization = scenario
@@ -394,7 +432,7 @@ fn evaluate(spec: &ScenarioSpec, scenario: &Scenario, memo: &MemoCache) -> Scena
                     problem.total_utilization(),
                 );
             }
-            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo)
+            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo, scratch)
         }
         Workload::CaseStudyUav => {
             let key = ProblemKey {
@@ -413,7 +451,7 @@ fn evaluate(spec: &ScenarioSpec, scenario: &Scenario, memo: &MemoCache) -> Scena
                 .with_partition_config(Workload::uav_partition_config())
             });
             let taskset_hash = hash_taskset(&problem.rt_tasks);
-            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo)
+            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo, scratch)
         }
     }
 }
@@ -468,6 +506,7 @@ fn allocate_shared(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn allocate_and_measure(
     spec: &ScenarioSpec,
     scenario: &Scenario,
@@ -475,6 +514,7 @@ fn allocate_and_measure(
     problem: &AllocationProblem,
     taskset_hash: u64,
     memo: &MemoCache,
+    scratch: &mut EvalScratch,
 ) -> ScenarioOutcome {
     let base = ScenarioOutcome {
         scenario: *scenario,
@@ -526,6 +566,7 @@ fn allocate_and_measure(
                     &allocation,
                     horizon,
                     attacks,
+                    scratch,
                 )),
             };
             ScenarioOutcome {
@@ -547,6 +588,7 @@ fn allocate_and_measure(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure_detection(
     spec: &ScenarioSpec,
     scenario: &Scenario,
@@ -554,21 +596,76 @@ fn measure_detection(
     allocation: &hydra_core::Allocation,
     horizon: Time,
     attacks: usize,
+    scratch: &mut EvalScratch,
 ) -> DetectionStats {
-    let tasks = simulation_tasks(problem, allocation);
-    let trace = simulate(&tasks, &SimConfig::new(horizon));
+    simulation_tasks_into(problem, allocation, &mut scratch.tasks);
     // Keep injections away from the tail so slow checks can still complete;
     // the seed depends on the problem address but NOT the allocator, so every
     // scheme faces the identical attack times (paired comparison).
     let margin = Time::from_secs(60).min(horizon / 2);
     let attack_seed = derive_seed(spec.base_seed ^ ATTACK_SALT, scenario.problem_stream);
-    let targets: Vec<usize> = (0..problem.security_tasks.len()).collect();
-    let injected = AttackScenario::new(horizon, margin, attack_seed).generate(attacks, &targets);
-    let mut latencies = detection_latencies_ms(&tasks, &trace, &injected);
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    scratch.targets.clear();
+    scratch.targets.extend(0..problem.security_tasks.len());
+    AttackScenario::new(horizon, margin, attack_seed).generate_into(
+        attacks,
+        &scratch.targets,
+        &mut scratch.attacks,
+    );
+    // Cores are fully isolated under partitioned scheduling, so a core that
+    // hosts no attacked security task cannot influence any detection outcome
+    // — drop its tasks before simulating. (The attack cycle hits the first
+    // `min(attacks, n_sec)` targets.) Under the SingleCore scheme this
+    // collapses the simulation to the dedicated security core alone.
+    let attacked = scratch.targets.len().min(attacks);
+    let cores_total = scratch.tasks.iter().map(|t| t.core + 1).max().unwrap_or(0);
+    scratch.core_monitored.clear();
+    scratch.core_monitored.resize(cores_total, false);
+    for task in &scratch.tasks {
+        if let TaskKind::Security(s) = task.kind {
+            if s < attacked {
+                scratch.core_monitored[task.core] = true;
+            }
+        }
+    }
+    // In-place unstable partition (keeps every recycled buffer alive): the
+    // engine's heaps impose the dispatch order, so member order within the
+    // slice cannot change any outcome.
+    let mut keep = 0usize;
+    for i in 0..scratch.tasks.len() {
+        if scratch.core_monitored[scratch.tasks[i].core] {
+            scratch.tasks.swap(keep, i);
+            keep += 1;
+        }
+    }
+    let sim_tasks = &scratch.tasks[..keep];
+    // One streaming pass: no trace is materialised, detection latencies fold
+    // online per completed job, and the simulation stops as soon as every
+    // attack is resolved — outcomes are identical to the trace-based
+    // measurement (pinned by the rt-sim equality tests).
+    scratch.detector.begin(sim_tasks, &scratch.attacks);
+    if !scratch.detector.finished() {
+        simulate_with_scratch(
+            sim_tasks,
+            &SimConfig::new(horizon),
+            &mut scratch.sim,
+            &mut scratch.detector,
+        );
+    }
+    scratch.latencies.clear();
+    scratch.latencies.extend(
+        scratch
+            .detector
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.latency())
+            .map(|t| t.as_millis_f64()),
+    );
+    scratch
+        .latencies
+        .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     // The samples arrive sorted, so the percentile summaries are computed
     // with the no-clone `percentile_sorted` fast path.
-    DetectionStats::from_sorted_latencies(injected.len(), latencies)
+    DetectionStats::from_sorted_latencies(scratch.attacks.len(), scratch.latencies.clone())
 }
 
 #[cfg(test)]

@@ -61,18 +61,29 @@ impl AttackScenario {
     /// Panics if `targets` is empty.
     #[must_use]
     pub fn generate(&self, count: usize, targets: &[usize]) -> Vec<InjectedAttack> {
+        let mut attacks = Vec::with_capacity(count);
+        self.generate_into(count, targets, &mut attacks);
+        attacks
+    }
+
+    /// [`AttackScenario::generate`] into a reused buffer (cleared first), so
+    /// repeated scenario evaluations stay allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn generate_into(&self, count: usize, targets: &[usize], out: &mut Vec<InjectedAttack>) {
         assert!(
             !targets.is_empty(),
             "at least one attack target is required"
         );
         let mut rng = SplitMix64::new(self.seed);
         let window = (self.horizon - self.margin).as_ticks();
-        (0..count)
-            .map(|i| InjectedAttack {
-                time: Time::from_ticks(rng.next_below(window.max(1))),
-                target: targets[i % targets.len()],
-            })
-            .collect()
+        out.clear();
+        out.extend((0..count).map(|i| InjectedAttack {
+            time: Time::from_ticks(rng.next_below(window.max(1))),
+            target: targets[i % targets.len()],
+        }));
     }
 }
 

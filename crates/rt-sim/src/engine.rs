@@ -7,6 +7,35 @@
 //! pattern, which is the worst case for the response-time analysis this
 //! simulator is cross-checked against) and each job executes for exactly its
 //! task's WCET.
+//!
+//! # Event model
+//!
+//! The engine is event-driven and allocation-free in steady state. Each core
+//! maintains two binary heaps:
+//!
+//! * a **release calendar** — the next pending release instant of every
+//!   member task, so the earliest future release (the only thing that can
+//!   preempt the running job) is a `peek`, and idle intervals are skipped by
+//!   jumping straight to the calendar head;
+//! * a **ready queue** ordered by `(priority, release)` — unique per core
+//!   because priorities are unique per core and a task releases at most once
+//!   per instant — so dispatch is `pop` instead of a linear scan.
+//!
+//! Every scheduling event (release, completion, preemption, horizon cut)
+//! therefore costs O(log tasks) instead of O(ready · members).
+//!
+//! Results stream through the [`SimObserver`] callback: each finished (or
+//! horizon-truncated) job is reported the moment it leaves the core, so
+//! consumers that fold records online — e.g. the intrusion-detection
+//! latency measurement of [`crate::detection::OnlineDetector`] — need
+//! O(tasks + attacks) memory instead of materialising the O(jobs-over-horizon)
+//! [`Trace`]. [`simulate`] remains the thin collecting wrapper that builds
+//! the full trace for the existing API. Reusing a [`SimScratch`] across runs
+//! ([`simulate_with_scratch`]) makes repeated simulations allocation-free.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::ops::ControlFlow;
 
 use rt_core::Time;
 
@@ -34,9 +63,36 @@ impl SimConfig {
     }
 }
 
-/// A job currently in a core's ready queue.
+/// A streaming consumer of simulation results.
+///
+/// The engine calls [`SimObserver::record`] once per job — when the job
+/// completes, or when the horizon truncates it (then `finish` is `None`).
+/// Records of one task arrive in release order; records of different tasks
+/// arrive in per-core completion order, core by core. Observers that have
+/// seen everything they need can return [`ControlFlow::Break`] to stop the
+/// simulation early — useful when the measurement (not the trace) is the
+/// product, e.g. once every injected attack has been detected.
+pub trait SimObserver {
+    /// Consumes one job record; return [`ControlFlow::Break`] to abort the
+    /// remaining simulation.
+    fn record(&mut self, job: &JobRecord) -> ControlFlow<()>;
+}
+
+/// Closures `FnMut(&JobRecord) -> ControlFlow<()>` are observers.
+impl<F: FnMut(&JobRecord) -> ControlFlow<()>> SimObserver for F {
+    fn record(&mut self, job: &JobRecord) -> ControlFlow<()> {
+        self(job)
+    }
+}
+
+/// A job in a core's ready queue, ordered so that the binary heap pops the
+/// smallest `(priority, release)` pair first — the dispatch rule of
+/// preemptive fixed-priority scheduling with FIFO service among jobs of one
+/// task. The pair is unique per core (priorities are unique per core and a
+/// task releases at most one job per instant), so the dispatch order is a
+/// total order and independent of heap internals.
 #[derive(Debug, Clone, Copy)]
-struct ReadyJob {
+struct HeapJob {
     task: usize,
     priority: u32,
     release: Time,
@@ -45,59 +101,109 @@ struct ReadyJob {
     start: Option<Time>,
 }
 
-fn simulate_core(tasks: &[SimTask], members: &[usize], horizon: Time, out: &mut Vec<JobRecord>) {
-    // Next release instant per member task.
-    let mut next_release: Vec<Time> = members.iter().map(|_| Time::ZERO).collect();
-    let mut ready: Vec<ReadyJob> = Vec::new();
+impl HeapJob {
+    fn key(&self) -> (u32, Time) {
+        (self.priority, self.release)
+    }
+}
+
+impl PartialEq for HeapJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for HeapJob {}
+
+impl PartialOrd for HeapJob {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapJob {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we pop the smallest key.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A pending release: `(instant, task index)`, reversed for min-heap use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Release(std::cmp::Reverse<(Time, usize)>);
+
+/// Reusable buffers of the event-driven engine. One scratch serves any
+/// number of sequential simulations; in steady state no heap allocation
+/// happens per run (heaps and member lists keep their capacity).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    members: Vec<usize>,
+    prios: Vec<u32>,
+    releases: BinaryHeap<Release>,
+    ready: BinaryHeap<HeapJob>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
+
+/// Runs one core to the horizon (or until the observer breaks).
+fn run_core<O: SimObserver + ?Sized>(
+    tasks: &[SimTask],
+    members: &[usize],
+    horizon: Time,
+    releases: &mut BinaryHeap<Release>,
+    ready: &mut BinaryHeap<HeapJob>,
+    observer: &mut O,
+) -> ControlFlow<()> {
+    releases.clear();
+    ready.clear();
+    for &task in members {
+        // The horizon is positive, so the synchronous release at zero is
+        // always inside the window.
+        releases.push(Release(std::cmp::Reverse((Time::ZERO, task))));
+    }
     let mut now = Time::ZERO;
 
     loop {
-        // Release every job whose release time has arrived (and is before the
-        // horizon).
-        for (slot, &task_idx) in members.iter().enumerate() {
-            while next_release[slot] <= now && next_release[slot] < horizon {
-                let task = &tasks[task_idx];
-                ready.push(ReadyJob {
-                    task: task_idx,
-                    priority: task.priority,
-                    release: next_release[slot],
-                    deadline: next_release[slot] + task.deadline,
-                    remaining: task.wcet,
-                    start: None,
-                });
-                next_release[slot] += task.period;
+        // Move every release due at `now` from the calendar to the ready
+        // queue and schedule the task's next release (if it is still inside
+        // the window — the calendar never holds instants >= horizon).
+        while let Some(&Release(std::cmp::Reverse((at, task_idx)))) = releases.peek() {
+            if at > now {
+                break;
+            }
+            releases.pop();
+            let task = &tasks[task_idx];
+            ready.push(HeapJob {
+                task: task_idx,
+                priority: task.priority,
+                release: at,
+                deadline: at + task.deadline,
+                remaining: task.wcet,
+                start: None,
+            });
+            let next = at + task.period;
+            if next < horizon {
+                releases.push(Release(std::cmp::Reverse((next, task_idx))));
             }
         }
 
-        // The next scheduling event after `now`: the earliest future release.
-        let upcoming_release = members
-            .iter()
-            .enumerate()
-            .map(|(slot, _)| next_release[slot])
-            .filter(|&r| r < horizon)
-            .min();
-
-        if ready.is_empty() {
-            match upcoming_release {
-                Some(r) => {
-                    now = r;
+        let Some(mut job) = ready.pop() else {
+            // Idle: jump straight to the next release, or stop if the
+            // calendar ran dry.
+            match releases.peek() {
+                Some(&Release(std::cmp::Reverse((at, _)))) => {
+                    now = at;
                     continue;
                 }
                 None => break,
             }
-        }
-
-        // Highest-priority ready job (smallest priority value; FIFO among
-        // equal priorities cannot occur because priorities are unique per
-        // core).
-        let chosen = ready
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, j)| (j.priority, j.release))
-            .map(|(i, _)| i)
-            .expect("ready queue is non-empty");
-
-        let mut job = ready.swap_remove(chosen);
+        };
         if job.start.is_none() {
             job.start = Some(now);
         }
@@ -105,51 +211,109 @@ fn simulate_core(tasks: &[SimTask], members: &[usize], horizon: Time, out: &mut 
         // Run until the job completes, the next release arrives (possible
         // preemption), or the horizon.
         let completion = now + job.remaining;
-        let next_event = match upcoming_release {
-            Some(r) => completion.min(r).min(horizon),
+        let next_event = match releases.peek() {
+            Some(&Release(std::cmp::Reverse((at, _)))) => completion.min(at).min(horizon),
             None => completion.min(horizon),
         };
-        let ran = next_event - now;
-        job.remaining -= ran;
+        job.remaining -= next_event - now;
         now = next_event;
 
         if job.remaining.is_zero() {
-            out.push(JobRecord {
+            observer.record(&JobRecord {
                 task: job.task,
                 release: job.release,
                 deadline: job.deadline,
                 start: job.start,
                 finish: Some(now),
-            });
+            })?;
         } else if now >= horizon {
-            out.push(JobRecord {
+            observer.record(&JobRecord {
                 task: job.task,
                 release: job.release,
                 deadline: job.deadline,
                 start: job.start,
                 finish: None,
-            });
+            })?;
         } else {
             ready.push(job);
         }
 
         if now >= horizon {
-            // Record the jobs that never ran, then stop this core.
-            for job in ready.drain(..) {
-                out.push(JobRecord {
+            // Report the jobs that never finished, then stop this core.
+            while let Some(job) = ready.pop() {
+                observer.record(&JobRecord {
                     task: job.task,
                     release: job.release,
                     deadline: job.deadline,
                     start: job.start,
                     finish: None,
-                });
+                })?;
             }
             break;
         }
     }
+    ControlFlow::Continue(())
 }
 
-/// Simulates the workload until the configured horizon and returns the trace.
+/// Streams the simulation of `tasks` into `observer`, reusing `scratch`'s
+/// buffers (allocation-free once the scratch is warm). Cores are simulated
+/// in index order; an observer `Break` stops everything immediately.
+///
+/// # Panics
+///
+/// Panics if two tasks on the same core share a priority (the fixed-priority
+/// model of the paper requires distinct priorities).
+pub fn simulate_with_scratch<O: SimObserver + ?Sized>(
+    tasks: &[SimTask],
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+    observer: &mut O,
+) {
+    let cores = tasks.iter().map(|t| t.core).max().map_or(0, |m| m + 1);
+    let SimScratch {
+        members,
+        prios,
+        releases,
+        ready,
+    } = scratch;
+    for core in 0..cores {
+        members.clear();
+        members.extend(
+            tasks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| (t.core == core).then_some(i)),
+        );
+        // Distinct priorities per core.
+        prios.clear();
+        prios.extend(members.iter().map(|&i| tasks[i].priority));
+        prios.sort_unstable();
+        assert!(
+            prios.windows(2).all(|w| w[0] != w[1]),
+            "tasks sharing core {core} must have distinct priorities"
+        );
+        if run_core(tasks, members, config.horizon, releases, ready, observer).is_break() {
+            return;
+        }
+    }
+}
+
+/// Streams the simulation of `tasks` into `observer` with a fresh scratch.
+/// See [`simulate_with_scratch`] for the reusable-buffer variant.
+///
+/// # Panics
+///
+/// Panics if two tasks on the same core share a priority.
+pub fn simulate_with<O: SimObserver + ?Sized>(
+    tasks: &[SimTask],
+    config: &SimConfig,
+    observer: &mut O,
+) {
+    simulate_with_scratch(tasks, config, &mut SimScratch::new(), observer);
+}
+
+/// Simulates the workload until the configured horizon and returns the trace
+/// (the collecting wrapper over [`simulate_with`]).
 ///
 /// # Panics
 ///
@@ -157,33 +321,152 @@ fn simulate_core(tasks: &[SimTask], members: &[usize], horizon: Time, out: &mut 
 /// model of the paper requires distinct priorities).
 #[must_use]
 pub fn simulate(tasks: &[SimTask], config: &SimConfig) -> Trace {
-    let cores = tasks.iter().map(|t| t.core).max().map_or(0, |m| m + 1);
-    let mut jobs = Vec::new();
-    for core in 0..cores {
-        let members: Vec<usize> = tasks
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| (t.core == core).then_some(i))
-            .collect();
-        // Distinct priorities per core.
-        let mut prios: Vec<u32> = members.iter().map(|&i| tasks[i].priority).collect();
-        let count = prios.len();
-        prios.sort_unstable();
-        prios.dedup();
-        assert_eq!(
-            prios.len(),
-            count,
-            "tasks sharing core {core} must have distinct priorities"
-        );
-        simulate_core(tasks, &members, config.horizon, &mut jobs);
-    }
+    let mut jobs: Vec<JobRecord> = Vec::new();
+    simulate_with(tasks, config, &mut |job: &JobRecord| {
+        jobs.push(*job);
+        ControlFlow::Continue(())
+    });
     Trace::new(jobs, config.horizon, tasks.len())
+}
+
+/// The pre-heap reference implementation, kept as a differential-testing
+/// oracle: an O(ready · members) scan per dispatch, trivially auditable
+/// against the scheduling rules. The event-driven engine must produce an
+/// identical [`Trace`] on every workload.
+#[cfg(test)]
+mod naive {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy)]
+    struct ReadyJob {
+        task: usize,
+        priority: u32,
+        release: Time,
+        deadline: Time,
+        remaining: Time,
+        start: Option<Time>,
+    }
+
+    fn simulate_core(
+        tasks: &[SimTask],
+        members: &[usize],
+        horizon: Time,
+        out: &mut Vec<JobRecord>,
+    ) {
+        let mut next_release: Vec<Time> = members.iter().map(|_| Time::ZERO).collect();
+        let mut ready: Vec<ReadyJob> = Vec::new();
+        let mut now = Time::ZERO;
+
+        loop {
+            for (slot, &task_idx) in members.iter().enumerate() {
+                while next_release[slot] <= now && next_release[slot] < horizon {
+                    let task = &tasks[task_idx];
+                    ready.push(ReadyJob {
+                        task: task_idx,
+                        priority: task.priority,
+                        release: next_release[slot],
+                        deadline: next_release[slot] + task.deadline,
+                        remaining: task.wcet,
+                        start: None,
+                    });
+                    next_release[slot] += task.period;
+                }
+            }
+
+            let upcoming_release = members
+                .iter()
+                .enumerate()
+                .map(|(slot, _)| next_release[slot])
+                .filter(|&r| r < horizon)
+                .min();
+
+            if ready.is_empty() {
+                match upcoming_release {
+                    Some(r) => {
+                        now = r;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            let chosen = ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.priority, j.release))
+                .map(|(i, _)| i)
+                .expect("ready queue is non-empty");
+
+            let mut job = ready.swap_remove(chosen);
+            if job.start.is_none() {
+                job.start = Some(now);
+            }
+
+            let completion = now + job.remaining;
+            let next_event = match upcoming_release {
+                Some(r) => completion.min(r).min(horizon),
+                None => completion.min(horizon),
+            };
+            let ran = next_event - now;
+            job.remaining -= ran;
+            now = next_event;
+
+            if job.remaining.is_zero() {
+                out.push(JobRecord {
+                    task: job.task,
+                    release: job.release,
+                    deadline: job.deadline,
+                    start: job.start,
+                    finish: Some(now),
+                });
+            } else if now >= horizon {
+                out.push(JobRecord {
+                    task: job.task,
+                    release: job.release,
+                    deadline: job.deadline,
+                    start: job.start,
+                    finish: None,
+                });
+            } else {
+                ready.push(job);
+            }
+
+            if now >= horizon {
+                for job in ready.drain(..) {
+                    out.push(JobRecord {
+                        task: job.task,
+                        release: job.release,
+                        deadline: job.deadline,
+                        start: job.start,
+                        finish: None,
+                    });
+                }
+                break;
+            }
+        }
+    }
+
+    /// The oracle entry point: the original linear-scan simulator.
+    pub(super) fn simulate(tasks: &[SimTask], config: &SimConfig) -> Trace {
+        let cores = tasks.iter().map(|t| t.core).max().map_or(0, |m| m + 1);
+        let mut jobs = Vec::new();
+        for core in 0..cores {
+            let members: Vec<usize> = tasks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| (t.core == core).then_some(i))
+                .collect();
+            simulate_core(tasks, &members, config.horizon, &mut jobs);
+        }
+        Trace::new(jobs, config.horizon, tasks.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::TaskKind;
+    use proptest::prelude::*;
 
     fn task(name: &str, c_ms: u64, t_ms: u64, core: usize, priority: u32) -> SimTask {
         SimTask {
@@ -317,5 +600,95 @@ mod tests {
             .sum();
         assert_eq!(busy, horizon.as_millis());
         assert!(trace.deadline_misses().is_empty());
+    }
+
+    #[test]
+    fn observer_break_stops_the_simulation_early() {
+        let tasks = vec![task("a", 1, 2, 0, 0), task("b", 1, 10, 1, 0)];
+        let mut seen = 0usize;
+        simulate_with(
+            &tasks,
+            &SimConfig::new(Time::from_secs(1)),
+            &mut |_: &JobRecord| {
+                seen += 1;
+                if seen == 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        // Exactly three records were delivered — the rest of core 0 and the
+        // whole of core 1 were skipped.
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_is_equivalent_to_fresh_runs() {
+        let mut scratch = SimScratch::new();
+        let workloads = [
+            vec![task("a", 2, 10, 0, 0)],
+            vec![task("hi", 1, 4, 0, 0), task("lo", 3, 10, 0, 1)],
+            vec![task("x", 5, 5, 0, 0), task("y", 1, 10, 1, 0)],
+        ];
+        for tasks in &workloads {
+            let config = SimConfig::new(Time::from_millis(200));
+            let mut jobs = Vec::new();
+            simulate_with_scratch(tasks, &config, &mut scratch, &mut |j: &JobRecord| {
+                jobs.push(*j);
+                ControlFlow::Continue(())
+            });
+            let reused = Trace::new(jobs, config.horizon, tasks.len());
+            assert_eq!(reused, simulate(tasks, &config));
+        }
+    }
+
+    /// Random workload generator for the differential tests: up to three
+    /// cores, globally unique priorities (which makes per-core priorities
+    /// unique too), WCETs never exceeding periods.
+    fn arbitrary_tasks() -> impl Strategy<Value = Vec<SimTask>> {
+        collection::vec((1u64..=12, 1u64..=6, 0usize..3), 1..=7).prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (period, wcet_seed, core))| SimTask {
+                    name: format!("t{i}"),
+                    kind: TaskKind::RealTime,
+                    wcet: Time::from_ticks(wcet_seed.min(period).max(1)),
+                    period: Time::from_ticks(period),
+                    deadline: Time::from_ticks(period),
+                    core,
+                    priority: i as u32,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// The heap engine's trace is identical to the naive oracle's on
+        /// arbitrary workloads, including overloaded ones and horizons that
+        /// cut jobs mid-execution.
+        #[test]
+        fn heap_engine_matches_naive_oracle(tasks in arbitrary_tasks(), horizon in 1u64..=150) {
+            let config = SimConfig::new(Time::from_ticks(horizon));
+            let heap = simulate(&tasks, &config);
+            let oracle = naive::simulate(&tasks, &config);
+            prop_assert_eq!(heap, oracle);
+        }
+
+        /// Streaming through a scratch-reusing observer collects the same
+        /// records as the collecting wrapper.
+        #[test]
+        fn observer_stream_rebuilds_the_trace(tasks in arbitrary_tasks(), horizon in 1u64..=100) {
+            let config = SimConfig::new(Time::from_ticks(horizon));
+            let mut jobs = Vec::new();
+            simulate_with(&tasks, &config, &mut |j: &JobRecord| {
+                jobs.push(*j);
+                ControlFlow::Continue(())
+            });
+            let streamed = Trace::new(jobs, config.horizon, tasks.len());
+            prop_assert_eq!(streamed, simulate(&tasks, &config));
+        }
     }
 }

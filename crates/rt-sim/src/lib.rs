@@ -51,8 +51,10 @@ pub mod workload;
 
 pub use attack::{AttackScenario, InjectedAttack};
 pub use cdf::EmpiricalCdf;
-pub use detection::{detection_times, DetectionOutcome};
-pub use engine::{simulate, SimConfig};
+pub use detection::{detection_times, detection_times_online, DetectionOutcome, OnlineDetector};
+pub use engine::{
+    simulate, simulate_with, simulate_with_scratch, SimConfig, SimObserver, SimScratch,
+};
 pub use stats::{measured_core_utilization, response_profiles, ResponseProfile};
 pub use trace::{JobRecord, Trace};
 pub use workload::{simulation_tasks, SimTask, TaskKind};

@@ -59,6 +59,56 @@ impl SimTask {
 #[must_use]
 pub fn simulation_tasks(problem: &AllocationProblem, allocation: &Allocation) -> Vec<SimTask> {
     let mut tasks = Vec::with_capacity(problem.rt_tasks.len() + problem.security_tasks.len());
+    simulation_tasks_into(problem, allocation, &mut tasks);
+    tasks
+}
+
+/// [`simulation_tasks`] into a reused buffer: existing elements (and their
+/// name `String`s) are recycled in place, so rebuilding the workload for a
+/// new scenario makes no heap allocation once the buffer is warm — the shape
+/// the sweep engine's per-worker scratch relies on.
+pub fn simulation_tasks_into(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    out: &mut Vec<SimTask>,
+) {
+    use core::fmt::Write as _;
+
+    let total = problem.rt_tasks.len() + problem.security_tasks.len();
+    out.truncate(total);
+    out.resize_with(total, || SimTask {
+        name: String::new(),
+        kind: TaskKind::RealTime,
+        wcet: Time::ZERO,
+        period: Time::ZERO,
+        deadline: Time::ZERO,
+        core: 0,
+        priority: 0,
+    });
+    let mut slot = 0usize;
+    let emit = |dst: &mut SimTask,
+                name: Option<&str>,
+                fallback: core::fmt::Arguments<'_>,
+                kind: TaskKind,
+                wcet: Time,
+                period: Time,
+                deadline: Time,
+                core: usize,
+                priority: u32| {
+        dst.name.clear();
+        match name {
+            Some(n) => dst.name.push_str(n),
+            None => {
+                let _ = dst.name.write_fmt(fallback);
+            }
+        }
+        dst.kind = kind;
+        dst.wcet = wcet;
+        dst.period = period;
+        dst.deadline = deadline;
+        dst.core = core;
+        dst.priority = priority;
+    };
 
     let rt_priorities =
         PriorityAssignment::assign(&problem.rt_tasks, PriorityPolicy::RateMonotonic);
@@ -68,38 +118,39 @@ pub fn simulation_tasks(problem: &AllocationProblem, allocation: &Allocation) ->
             // schemes in this workspace; skip defensively.
             continue;
         };
-        tasks.push(SimTask {
-            name: task
-                .name()
-                .map_or_else(|| format!("rt_{}", id.0), str::to_owned),
-            kind: TaskKind::RealTime,
-            wcet: task.wcet(),
-            period: task.period(),
-            deadline: task.deadline(),
-            core: core.0,
-            priority: rt_priorities.priority(id).0,
-        });
+        emit(
+            &mut out[slot],
+            task.name(),
+            format_args!("rt_{}", id.0),
+            TaskKind::RealTime,
+            task.wcet(),
+            task.period(),
+            task.deadline(),
+            core.0,
+            rt_priorities.priority(id).0,
+        );
+        slot += 1;
     }
 
     // Security priorities: below every real-time priority.
     let base = problem.rt_tasks.len() as u32;
-    for (rank, sec_id) in problem.security_tasks.ids_by_priority().iter().enumerate() {
-        let task = &problem.security_tasks[*sec_id];
-        let placement = allocation.placement(*sec_id);
-        tasks.push(SimTask {
-            name: task
-                .name()
-                .map_or_else(|| format!("sec_{}", sec_id.0), str::to_owned),
-            kind: TaskKind::Security(sec_id.0),
-            wcet: task.wcet(),
-            period: placement.period,
-            deadline: placement.period,
-            core: placement.core.0,
-            priority: base + rank as u32,
-        });
+    for (rank, &sec_id) in problem.security_tasks.ids_by_priority().iter().enumerate() {
+        let task = &problem.security_tasks[sec_id];
+        let placement = allocation.placement(sec_id);
+        emit(
+            &mut out[slot],
+            task.name(),
+            format_args!("sec_{}", sec_id.0),
+            TaskKind::Security(sec_id.0),
+            task.wcet(),
+            placement.period,
+            placement.period,
+            placement.core.0,
+            base + rank as u32,
+        );
+        slot += 1;
     }
-
-    tasks
+    out.truncate(slot);
 }
 
 #[cfg(test)]

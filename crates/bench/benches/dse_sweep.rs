@@ -125,17 +125,23 @@ fn gate_spec() -> ScenarioSpec {
     spec
 }
 
-use hydra_bench::gate::{git_sha, json_number, peak_rss_bytes};
+use hydra_bench::gate::json_number;
+use hydra_bench::record::BenchRecord;
+use rt_dse::SweepObs;
 
-/// The CI throughput gate. Times the fixed gate workload, emits
-/// `BENCH_sweep.json`, and fails on a >25 % scenarios/sec regression
-/// against the checked-in baseline.
+/// The CI throughput gate. Times the fixed gate workload **with
+/// observability fully enabled** (metrics + tracing — the overhead contract
+/// says instrumentation must be nearly free, so the gated number covers
+/// it), emits `BENCH_sweep.json` with the run's metrics snapshot embedded,
+/// and fails on a >25 % scenarios/sec regression against the checked-in
+/// baseline.
 fn bench_gate(_c: &mut Criterion) {
     let workspace = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let spec = gate_spec();
     let grid_size = ScenarioGrid::expand(&spec).len();
     let threads = 2usize;
-    let executor = Executor::with_threads(threads);
+    let obs = SweepObs::enabled();
+    let executor = Executor::with_threads(threads).with_observability(obs.clone());
 
     // Warm-up once (page in, prime allocator), then time whole-sweep
     // repetitions until at least ~0.6 s of work has been measured.
@@ -157,24 +163,17 @@ fn bench_gate(_c: &mut Criterion) {
     let ratio = baseline.map(|b| scenarios_per_sec / b);
     let pass = floor.is_none_or(|f| scenarios_per_sec >= f);
 
-    let json = format!(
-        "{{\n  \"bench\": \"dse_sweep\",\n  \"git_sha\": \"{}\",\n  \"grid_size\": {},\n  \
-         \"threads\": {},\n  \"scenarios_evaluated\": {},\n  \"elapsed_secs\": {:.3},\n  \
-         \"scenarios_per_sec\": {:.1},\n  \"peak_rss_bytes\": {},\n  \
-         \"baseline_scenarios_per_sec\": {},\n  \"gate_floor_scenarios_per_sec\": {},\n  \
-         \"measured_vs_baseline_ratio\": {},\n  \"gate\": \"{}\"\n}}\n",
-        git_sha(),
-        grid_size,
-        threads,
-        evaluated,
-        elapsed,
-        scenarios_per_sec,
-        peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string()),
-        baseline.map_or_else(|| "null".to_owned(), |b| format!("{b:.1}")),
-        floor.map_or_else(|| "null".to_owned(), |f| format!("{f:.1}")),
-        ratio.map_or_else(|| "null".to_owned(), |r| format!("{r:.3}")),
-        if pass { "pass" } else { "fail" },
-    );
+    let json = BenchRecord::new("dse_sweep")
+        .int("grid_size", grid_size as u128)
+        .int("threads", threads as u128)
+        .int("scenarios_evaluated", evaluated as u128)
+        .num("elapsed_secs", elapsed, 3)
+        .num("scenarios_per_sec", scenarios_per_sec, 1)
+        .opt("baseline_scenarios_per_sec", baseline, 1)
+        .opt("gate_floor_scenarios_per_sec", floor, 1)
+        .opt("measured_vs_baseline_ratio", ratio, 3)
+        .metrics(&obs.metrics_json())
+        .finish(pass);
     let out_path = std::env::var("BENCH_SWEEP_JSON")
         .unwrap_or_else(|_| format!("{workspace}/BENCH_sweep.json"));
     std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");

@@ -109,15 +109,15 @@ fn bench_optimal_bnb(c: &mut Criterion) {
     group.finish();
 }
 
-use hydra_bench::gate::{git_sha, json_number, peak_rss_bytes};
+use hydra_bench::gate::json_number;
+use hydra_bench::record::BenchRecord;
+use rt_dse::SweepObs;
 
-fn fmt_opt(v: Option<f64>) -> String {
-    v.map_or_else(|| "null".to_owned(), |x| format!("{x:.1}"))
-}
-
-/// The CI kernel gate: times the detection quick-gate sweep and the
-/// branch-and-bound Optimal grid, emits `BENCH_sim.json`, and fails on a
-/// >25 % detection-throughput regression or a prune ratio below the floor.
+/// The CI kernel gate: times the detection quick-gate sweep (with
+/// observability fully enabled, per the overhead contract) and the
+/// branch-and-bound Optimal grid, emits `BENCH_sim.json` with the sweep's
+/// metrics snapshot embedded, and fails on a >25 % detection-throughput
+/// regression or a prune ratio below the floor.
 fn bench_gate(_c: &mut Criterion) {
     let workspace = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
@@ -138,7 +138,8 @@ fn bench_gate(_c: &mut Criterion) {
     let spec = detection_gate_spec();
     let grid_size = ScenarioGrid::expand(&spec).len();
     let threads = 2usize;
-    let executor = Executor::with_threads(threads);
+    let obs = SweepObs::enabled();
+    let executor = Executor::with_threads(threads).with_observability(obs.clone());
     let _ = executor.run(std::hint::black_box(&spec));
     let mut evaluated = 0usize;
     let started = Instant::now();
@@ -186,44 +187,31 @@ fn bench_gate(_c: &mut Criterion) {
     let prune_pass = prune_ratio >= min_prune_ratio;
     let pass = throughput_pass && prune_pass;
 
-    let json = format!(
-        "{{\n  \"bench\": \"sim_kernel\",\n  \"git_sha\": \"{}\",\n  \
-         \"sim_jobs_per_sec\": {:.0},\n  \"detection_grid_size\": {},\n  \
-         \"threads\": {},\n  \"detection_scenarios_per_sec\": {:.1},\n  \
-         \"baseline_detection_scenarios_per_sec\": {},\n  \
-         \"gate_floor_detection_scenarios_per_sec\": {},\n  \
-         \"detection_vs_baseline_ratio\": {},\n  \
-         \"pre_pr_detection_scenarios_per_sec\": {},\n  \
-         \"detection_speedup_vs_pre_pr\": {},\n  \
-         \"optimal_instances\": {},\n  \"optimal_instances_per_sec\": {:.1},\n  \
-         \"optimal_visited\": {},\n  \"optimal_pruned\": {},\n  \
-         \"optimal_total_assignments\": {},\n  \"optimal_prune_ratio\": {:.4},\n  \
-         \"min_prune_ratio\": {:.2},\n  \
-         \"pre_pr_optimal_instances_per_sec\": {},\n  \
-         \"optimal_speedup_vs_pre_pr\": {},\n  \
-         \"peak_rss_bytes\": {},\n  \"gate\": \"{}\"\n}}\n",
-        git_sha(),
-        sim_jobs_per_sec,
-        grid_size,
-        threads,
-        detection_scenarios_per_sec,
-        fmt_opt(baseline),
-        fmt_opt(floor),
-        ratio.map_or_else(|| "null".to_owned(), |r| format!("{r:.3}")),
-        fmt_opt(pre_pr_detection),
-        speedup_vs_pre_pr.map_or_else(|| "null".to_owned(), |r| format!("{r:.2}")),
-        instances.len(),
-        optimal_instances_per_sec,
-        stats.visited,
-        stats.pruned,
-        stats.total,
-        prune_ratio,
-        min_prune_ratio,
-        fmt_opt(pre_pr_optimal),
-        optimal_speedup.map_or_else(|| "null".to_owned(), |r| format!("{r:.2}")),
-        peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string()),
-        if pass { "pass" } else { "fail" },
-    );
+    let json = BenchRecord::new("sim_kernel")
+        .num("sim_jobs_per_sec", sim_jobs_per_sec, 0)
+        .int("detection_grid_size", grid_size as u128)
+        .int("threads", threads as u128)
+        .num(
+            "detection_scenarios_per_sec",
+            detection_scenarios_per_sec,
+            1,
+        )
+        .opt("baseline_detection_scenarios_per_sec", baseline, 1)
+        .opt("gate_floor_detection_scenarios_per_sec", floor, 1)
+        .opt("detection_vs_baseline_ratio", ratio, 3)
+        .opt("pre_pr_detection_scenarios_per_sec", pre_pr_detection, 1)
+        .opt("detection_speedup_vs_pre_pr", speedup_vs_pre_pr, 2)
+        .int("optimal_instances", instances.len() as u128)
+        .num("optimal_instances_per_sec", optimal_instances_per_sec, 1)
+        .int("optimal_visited", stats.visited)
+        .int("optimal_pruned", stats.pruned)
+        .int("optimal_total_assignments", stats.total)
+        .num("optimal_prune_ratio", prune_ratio, 4)
+        .num("min_prune_ratio", min_prune_ratio, 2)
+        .opt("pre_pr_optimal_instances_per_sec", pre_pr_optimal, 1)
+        .opt("optimal_speedup_vs_pre_pr", optimal_speedup, 2)
+        .metrics(&obs.metrics_json())
+        .finish(pass);
     let out_path =
         std::env::var("BENCH_SIM_JSON").unwrap_or_else(|_| format!("{workspace}/BENCH_sim.json"));
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");

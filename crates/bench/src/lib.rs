@@ -11,7 +11,9 @@
 //! * [`table1`] — the security-task catalogue (Table I),
 //! * [`report`] — small CSV/console reporting helpers shared by the binaries,
 //! * [`gate`] — shared plumbing of the CI bench gates (peak RSS, git SHA,
-//!   baseline parsing for the `BENCH_*.json` records).
+//!   baseline parsing for the `BENCH_*.json` records),
+//! * [`record`] — the ordered `BENCH_*.json` record builder shared by the
+//!   gates (common envelope + embedded `rt-obs` metrics snapshot).
 //!
 //! Each binary in `src/bin/` is a thin wrapper over the corresponding module
 //! so the same experiment code is reachable from integration tests.
@@ -25,6 +27,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod gate;
 pub mod period_policy;
+pub mod record;
 pub mod report;
 pub mod table1;
 

@@ -1,0 +1,146 @@
+//! The shared `BENCH_*.json` record builder: every CI bench gate emits the
+//! same envelope (bench name, commit under test, host parallelism, peak
+//! RSS, pass/fail verdict) around its own measurements, and can embed the
+//! `rt-obs` metrics snapshot of an instrumented run. Factoring the
+//! envelope here keeps the gates' documents consistent and spares each
+//! bench the hand-rolled JSON assembly that `dse_sweep` and `sim_kernel`
+//! used to duplicate.
+//!
+//! Keys render in insertion order, so existing baseline readers (the
+//! [`json_number`](crate::gate::json_number) scraper, CI scripts) keep
+//! working as fields are appended.
+
+use crate::gate::{git_sha, peak_rss_bytes};
+
+/// An ordered key/value JSON document under construction. Build with
+/// [`BenchRecord::new`], append measurements with the typed methods, and
+/// render with [`BenchRecord::finish`].
+#[derive(Debug)]
+pub struct BenchRecord {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for `bench`, seeded with the shared environment
+    /// fields: the commit under test (`git_sha`) and the host's available
+    /// parallelism (`host_cpus`).
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        let mut record = BenchRecord { fields: Vec::new() };
+        record.push("bench", format!("\"{bench}\""));
+        record.push("git_sha", format!("\"{}\"", git_sha()));
+        let cpus = std::thread::available_parallelism().map_or(0, usize::from);
+        record.push("host_cpus", cpus.to_string());
+        record
+    }
+
+    fn push(&mut self, key: &str, value: String) {
+        self.fields.push((key.to_owned(), value));
+    }
+
+    /// An unsigned integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u128) -> Self {
+        self.push(key, value.to_string());
+        self
+    }
+
+    /// A float field rendered with `decimals` fractional digits.
+    #[must_use]
+    pub fn num(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.push(key, format!("{value:.decimals$}"));
+        self
+    }
+
+    /// An optional float field (`null` when absent).
+    #[must_use]
+    pub fn opt(mut self, key: &str, value: Option<f64>, decimals: usize) -> Self {
+        let rendered = value.map_or_else(|| "null".to_owned(), |v| format!("{v:.decimals$}"));
+        self.push(key, rendered);
+        self
+    }
+
+    /// A pre-rendered JSON value (an embedded object, `null`, a quoted
+    /// string the caller already escaped).
+    #[must_use]
+    pub fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.push(key, rendered);
+        self
+    }
+
+    /// Embeds a full `rt-obs` metrics document (the output of
+    /// [`SweepObs::metrics_json`](rt_dse::SweepObs::metrics_json)) as a
+    /// nested `metrics` object, so the gate record carries the counters and
+    /// per-phase times of the instrumented run it timed.
+    #[must_use]
+    pub fn metrics(self, metrics_json: &str) -> Self {
+        self.raw("metrics", metrics_json.trim_end().to_owned())
+    }
+
+    /// Appends the shared trailer (`peak_rss_bytes`, the `gate` verdict)
+    /// and renders the document.
+    #[must_use]
+    pub fn finish(mut self, pass: bool) -> String {
+        let rss = peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string());
+        self.push("peak_rss_bytes", rss);
+        self.push(
+            "gate",
+            format!("\"{}\"", if pass { "pass" } else { "fail" }),
+        );
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(value);
+            out.push_str(if i + 1 == self.fields.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::json_number;
+
+    #[test]
+    fn record_renders_ordered_fields_with_shared_envelope() {
+        let json = BenchRecord::new("demo")
+            .int("grid_size", 72)
+            .num("scenarios_per_sec", 1234.5678, 1)
+            .opt("baseline", None, 1)
+            .raw("label", "\"quick\"".to_owned())
+            .finish(true);
+        assert!(json.starts_with("{\n  \"bench\": \"demo\",\n  \"git_sha\": \""));
+        assert!(json.ends_with("\"gate\": \"pass\"\n}\n"));
+        assert_eq!(json_number(&json, "grid_size"), Some(72.0));
+        assert_eq!(json_number(&json, "scenarios_per_sec"), Some(1234.6));
+        assert!(json.contains("\"baseline\": null"));
+        let bench_pos = json.find("\"bench\"").unwrap();
+        let grid_pos = json.find("\"grid_size\"").unwrap();
+        let gate_pos = json.find("\"gate\"").unwrap();
+        assert!(bench_pos < grid_pos && grid_pos < gate_pos);
+    }
+
+    #[test]
+    fn embedded_metrics_document_stays_valid_json() {
+        let obs = rt_dse::SweepObs::enabled();
+        obs.worker(0).record_scenario(None);
+        let json = BenchRecord::new("demo")
+            .metrics(&obs.metrics_json())
+            .finish(false);
+        assert!(json.contains("\"metrics\": {"));
+        assert!(json.contains("\"sweep.scenarios_done\": 1"));
+        assert!(json.contains("\"gate\": \"fail\""));
+        // Brace balance is a cheap structural check without a JSON parser.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

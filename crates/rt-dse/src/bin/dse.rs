@@ -23,10 +23,13 @@ use std::fs;
 use std::io::{BufWriter, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use rt_dse::obs::PHASE_CHECKPOINT;
 use rt_dse::prelude::*;
 use rt_dse::sink::summary_to_csv;
-use rt_dse::{sweep_fingerprint, Checkpoint};
+use rt_dse::{phase_table, sweep_fingerprint, Checkpoint, MemoStats, SweepObs, ENGINE_TRACK};
+use rt_obs::{peak_rss_bytes, Counter, Heartbeat, WorkerTracer};
 
 const USAGE: &str = "\
 dse — design-space exploration for security-task allocation
@@ -69,6 +72,21 @@ SWEEP OPTIONS:
     --name NAME           output file stem                  [default: sweep]
     --out DIR             output directory                  [default: results/dse]
     --quiet               suppress the per-group summary table
+
+OBSERVABILITY OPTIONS (all default-off; JSONL/CSV/summary bytes are
+identical with or without them):
+    --progress[=SECS]     live heartbeat on stderr every SECS seconds
+                          (default 2): scenarios done/total, scenarios/s,
+                          ETA, memo hit-rates, reorder-buffer depth,
+                          backpressure wait, peak RSS
+    --metrics-out FILE    write the final metrics snapshot (counters,
+                          gauges, histograms, per-phase times; schema
+                          `rt-obs/v1`) as JSON
+    --trace-out FILE      write per-scenario phase spans as Chrome
+                          trace-event JSON — load in Perfetto or
+                          chrome://tracing
+    A machine-readable run report ({name}_run.json: throughput, memo
+    hit-rates, peak RSS) is always written next to the other outputs.
 
 SCALE-OUT OPTIONS:
     --shard I/N           evaluate the I-th of N contiguous grid shards; files
@@ -118,6 +136,25 @@ impl Args {
                 .collect::<Result<Vec<T>, String>>()
                 .map(Some),
         }
+    }
+
+    /// `--progress` / `--progress=SECS` — the heartbeat interval, if any.
+    fn progress(&self) -> Result<Option<Duration>, String> {
+        for arg in &self.0 {
+            if arg == "--progress" {
+                return Ok(Some(Duration::from_secs(2)));
+            }
+            if let Some(raw) = arg.strip_prefix("--progress=") {
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value for --progress: {raw}"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err(format!("--progress interval must be positive, got {raw}"));
+                }
+                return Ok(Some(Duration::from_secs_f64(secs)));
+            }
+        }
+        Ok(None)
     }
 
     fn shard(&self) -> Result<(usize, usize), String> {
@@ -285,10 +322,16 @@ struct CheckpointingSink {
     every: usize,
     fingerprint: u64,
     path: PathBuf,
+    /// Engine-track phase recorder for checkpoint writes (inert when
+    /// tracing is off).
+    checkpoint_tracer: WorkerTracer,
+    /// `checkpoint.writes` (inert when metrics are off).
+    checkpoint_writes: Counter,
 }
 
 impl CheckpointingSink {
     fn save_checkpoint(&mut self) -> std::io::Result<()> {
+        let _span = self.checkpoint_tracer.span(PHASE_CHECKPOINT);
         // The checkpoint claims its byte offsets are *durable*: flush the
         // buffers and fsync the data before the (also fsynced) checkpoint
         // rename, so a power loss can never leave the checkpoint ahead of
@@ -307,6 +350,7 @@ impl CheckpointingSink {
         }
         .save(&self.path)?;
         self.since_save = 0;
+        self.checkpoint_writes.inc();
         Ok(())
     }
 }
@@ -364,13 +408,100 @@ fn open_resumable(path: &Path, keep: u64) -> Result<fs::File, String> {
     Ok(file)
 }
 
+/// Formats a hit/miss pair as a percentage for the heartbeat line
+/// (`-` before any traffic).
+fn hit_pct(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.0}%", 100.0 * hits as f64 / total as f64)
+    }
+}
+
+/// One `--progress` heartbeat line, rendered from a registry snapshot.
+fn progress_line(snap: &rt_obs::Snapshot, total: usize, elapsed: Duration) -> String {
+    let done = snap.counter("sweep.scenarios_done");
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    let eta = if rate > 0.0 && done < total as u64 {
+        format!("{:.0}s", (total as u64 - done) as f64 / rate)
+    } else {
+        "-".to_owned()
+    };
+    let pct = if total > 0 {
+        100.0 * done as f64 / total as f64
+    } else {
+        100.0
+    };
+    let rss = peak_rss_bytes().map_or_else(
+        || "-".to_owned(),
+        |b| format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)),
+    );
+    format!
+        ("[dse] {done}/{total} ({pct:.1}%) {rate:.0} scen/s eta {eta} | memo hit pb {} pt {} al {} fs {} | reorder {} | bp wait {:.1}ms | rss {rss}",
+        hit_pct(snap.counter("memo.problem_hits"), snap.counter("memo.problem_misses")),
+        hit_pct(snap.counter("memo.partition_hits"), snap.counter("memo.partition_misses")),
+        hit_pct(snap.counter("memo.allocation_hits"), snap.counter("memo.allocation_misses")),
+        hit_pct(snap.counter("memo.feasibility_hits"), snap.counter("memo.feasibility_misses")),
+        snap.gauge("drain.reorder_depth"),
+        snap.counter("sweep.backpressure_wait_ns") as f64 / 1_000_000.0,
+    )
+}
+
+/// The machine-readable `{stem}_run.json` run report: throughput and memo
+/// hit-rates persisted next to the sweep outputs (not just echoed on
+/// stderr), independent of the observability flags.
+fn run_report_json(
+    evaluated: usize,
+    threads: usize,
+    elapsed: Duration,
+    memo: &MemoStats,
+) -> String {
+    fn entry(hits: u64, misses: u64) -> String {
+        let total = hits + misses;
+        let rate = if total == 0 {
+            "null".to_owned()
+        } else {
+            format!("{:.6}", hits as f64 / total as f64)
+        };
+        format!("{{ \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate} }}")
+    }
+    let secs = elapsed.as_secs_f64();
+    let throughput = if secs > 0.0 {
+        format!("{:.3}", evaluated as f64 / secs)
+    } else {
+        "null".to_owned()
+    };
+    let rss = peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string());
+    format!(
+        "{{\n  \"schema\": \"dse-run/v1\",\n  \"scenarios\": {evaluated},\n  \
+         \"threads\": {threads},\n  \"elapsed_secs\": {secs:.6},\n  \
+         \"scenarios_per_sec\": {throughput},\n  \"memo\": {{\n    \
+         \"problem\": {},\n    \"feasibility\": {},\n    \"partition\": {},\n    \
+         \"allocation\": {}\n  }},\n  \"peak_rss_bytes\": {rss}\n}}\n",
+        entry(memo.problem_hits, memo.problem_misses),
+        entry(memo.feasibility_hits, memo.feasibility_misses),
+        entry(memo.partition_hits, memo.partition_misses),
+        entry(memo.allocation_hits, memo.allocation_misses),
+    )
+}
+
 fn run_sweep(args: &Args) -> Result<(), String> {
     let spec = build_spec(args)?;
+    let progress = args.progress()?;
+    let metrics_out = args.value_of("--metrics-out").map(PathBuf::from);
+    let trace_out = args.value_of("--trace-out").map(PathBuf::from);
+    let obs = SweepObs::new(
+        progress.is_some() || metrics_out.is_some(),
+        trace_out.is_some(),
+    );
     let executor = if args.flag("--serial") {
         Executor::serial()
     } else {
         Executor::with_threads(args.parsed("--threads")?.unwrap_or(0))
-    };
+    }
+    .with_observability(obs.clone());
     let shard = args.shard()?;
     let resume = args.flag("--resume");
     let checkpoint_every: usize = args.parsed("--checkpoint-every")?.unwrap_or(256);
@@ -446,6 +577,11 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         every: checkpoint_every,
         fingerprint,
         path: ckpt_path.clone(),
+        checkpoint_tracer: obs.tracer().worker(ENGINE_TRACK),
+        checkpoint_writes: obs
+            .registry()
+            .shard(ENGINE_TRACK)
+            .counter("checkpoint.writes"),
     };
 
     eprintln!(
@@ -464,9 +600,25 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         spec.trials
     );
 
+    let mut heartbeat = match progress {
+        Some(interval) => {
+            let registry = obs.registry().clone();
+            let total = end - start;
+            let t0 = Instant::now();
+            Heartbeat::start(interval, move || {
+                eprintln!(
+                    "{}",
+                    progress_line(&registry.snapshot(), total, t0.elapsed())
+                );
+            })
+        }
+        None => Heartbeat::disabled(),
+    };
+
     let summary = executor
         .run_streaming_range(&spec, start..end, &mut sink)
         .map_err(|e| format!("sweep aborted: {e}"))?;
+    heartbeat.stop();
 
     let throughput = summary
         .scenarios_per_sec()
@@ -491,6 +643,36 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         memo.feasibility_misses,
         memo.feasibility_hits
     );
+
+    // Persist the run report (throughput + memo hit-rates) even when the
+    // run stops early — the stderr echo above is not the durable record.
+    let run_report_path = out_dir.join(format!("{stem}_run.json"));
+    fs::write(
+        &run_report_path,
+        run_report_json(summary.evaluated(), summary.threads, summary.elapsed, &memo),
+    )
+    .map_err(|e| format!("could not write {}: {e}", run_report_path.display()))?;
+
+    if obs.tracer().is_enabled() {
+        let table = phase_table(&obs.phase_rows());
+        if !table.is_empty() {
+            eprint!("{table}");
+        }
+        let dropped = obs.tracer().dropped_events();
+        if dropped > 0 {
+            eprintln!("trace ring overflow: {dropped} events dropped (totals above remain exact)");
+        }
+    }
+    if let Some(path) = &trace_out {
+        fs::write(path, obs.tracer().chrome_trace_json())
+            .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &metrics_out {
+        fs::write(path, obs.metrics_json())
+            .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
 
     if end < range.end {
         // Stopped early on purpose: leave a checkpoint behind instead of a

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use hydra_core::allocator::{Allocator, SingleCoreAllocator};
+use hydra_core::allocator::{Allocator, OptimalAllocator, SingleCoreAllocator};
 use hydra_core::{Allocation, AllocationError, AllocationProblem};
 use rt_core::dbf::necessary_condition_default_horizon;
 use rt_core::Time;
@@ -42,6 +42,10 @@ use taskgen::{derive_seed, generate_problem_seeded};
 use crate::agg::SweepAccumulator;
 use crate::grid::ScenarioGrid;
 use crate::memo::{hash_taskset, AllocationKey, MemoCache, MemoStats, PartitionKey, ProblemKey};
+use crate::obs::{
+    SweepObs, WorkerObs, ENGINE_TRACK, PHASE_ALLOCATE, PHASE_GENERATE, PHASE_PARTITION,
+    PHASE_PERIOD_POLICY, PHASE_SIMULATE, PHASE_SINK,
+};
 use crate::scenario::{DetectionStats, Scenario, ScenarioOutcome};
 use crate::sink::{OutcomeSink, VecSink};
 use crate::spec::{AllocatorKind, Evaluation, ScenarioSpec, Workload};
@@ -140,9 +144,14 @@ fn throughput(evaluated: usize, elapsed: Duration) -> Option<f64> {
 }
 
 /// Executes [`ScenarioSpec`]s over a worker pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Observability is off by default; [`Executor::with_observability`]
+/// attaches a [`SweepObs`] bundle. Instrumentation never changes what the
+/// sink sees: outputs are byte-identical with observability on or off.
+#[derive(Debug, Clone, Default)]
 pub struct Executor {
     threads: usize,
+    obs: SweepObs,
 }
 
 /// Per-worker reusable evaluation buffers. Each worker thread owns one
@@ -193,22 +202,40 @@ impl Executor {
     /// A single-threaded executor (the reference for determinism tests).
     #[must_use]
     pub fn serial() -> Self {
-        Executor { threads: 1 }
+        Executor {
+            threads: 1,
+            obs: SweepObs::disabled(),
+        }
     }
 
     /// An executor sized to the machine's available parallelism.
     #[must_use]
     pub fn parallel() -> Self {
-        Executor { threads: 0 }
+        Executor {
+            threads: 0,
+            obs: SweepObs::disabled(),
+        }
     }
 
     /// An executor with an explicit worker count (`0` = auto).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Executor { threads }
+        Executor {
+            threads,
+            obs: SweepObs::disabled(),
+        }
     }
 
-    fn resolve_threads(self, work_items: usize) -> usize {
+    /// Attaches an observability bundle: metric/span recording flows into
+    /// `obs` during every subsequent run. A disabled bundle (the default)
+    /// keeps every instrumentation site a no-op.
+    #[must_use]
+    pub fn with_observability(mut self, obs: SweepObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    fn resolve_threads(&self, work_items: usize) -> usize {
         let auto = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
@@ -273,18 +300,27 @@ impl Executor {
         let range = range.start.min(end)..end;
         let slice = &scenarios[range.clone()];
         let threads = self.resolve_threads(slice.len());
-        let memo = MemoCache::new();
+        // The memo's hit/miss counters mirror onto the engine track of the
+        // registry (inert when observability is off).
+        let memo = MemoCache::with_observability(&self.obs.registry().shard(ENGINE_TRACK));
         let started = Instant::now();
 
         let partial = if threads <= 1 {
+            let wobs = self.obs.worker(0);
             let mut acc = SweepAccumulator::new();
             let mut scratch = EvalScratch::new();
             for scenario in slice {
-                let outcome = evaluate(spec, scenario, &memo, &mut scratch);
+                let timed = wobs.metrics_enabled().then(Instant::now);
+                let outcome = evaluate(spec, scenario, &memo, &mut scratch, &wobs);
+                wobs.record_scenario(timed.map(|t| t.elapsed()));
                 acc.record(&outcome);
-                sink.record(&outcome)?;
+                let span = wobs.tracer.span(PHASE_SINK);
+                let recorded = sink.record(&outcome);
+                drop(span);
+                recorded?;
             }
             sink.finish()?;
+            wobs.add_sim_stats(scratch.sim.stats());
             acc
         } else {
             self.stream_parallel(spec, slice, threads, &memo, sink)?
@@ -325,10 +361,24 @@ impl Executor {
         });
         let turnstile = Condvar::new();
         let master: Mutex<SweepAccumulator> = Mutex::new(SweepAccumulator::new());
+        // The reorder-buffer depth is a property of the shared drain, not of
+        // any worker, so every worker writes the same engine-track gauge
+        // (always under the drain lock — no torn updates).
+        let reorder_depth = self
+            .obs
+            .registry()
+            .shard(ENGINE_TRACK)
+            .gauge("drain.reorder_depth");
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            let cursor = &cursor;
+            let drain = &drain;
+            let turnstile = &turnstile;
+            let master = &master;
+            for worker_index in 0..threads {
+                let wobs = self.obs.worker(worker_index);
+                let reorder_depth = reorder_depth.clone();
+                scope.spawn(move || {
                     let mut local = SweepAccumulator::new();
                     let mut scratch = EvalScratch::new();
                     loop {
@@ -342,14 +392,25 @@ impl Executor {
                         // guaranteed.
                         {
                             let mut state = drain.lock().expect("drain poisoned");
-                            while state.error.is_none() && i >= state.next + window {
-                                state = turnstile.wait(state).expect("drain poisoned");
+                            if state.error.is_none() && i >= state.next + window {
+                                let waited = wobs.metrics_enabled().then(Instant::now);
+                                while state.error.is_none() && i >= state.next + window {
+                                    state = turnstile.wait(state).expect("drain poisoned");
+                                }
+                                if let Some(t0) = waited {
+                                    wobs.backpressure_waits.inc();
+                                    wobs.backpressure_wait_ns.add(
+                                        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                    );
+                                }
                             }
                             if state.error.is_some() {
                                 break;
                             }
                         }
-                        let outcome = evaluate(spec, &slice[i], memo, &mut scratch);
+                        let timed = wobs.metrics_enabled().then(Instant::now);
+                        let outcome = evaluate(spec, &slice[i], memo, &mut scratch, &wobs);
+                        wobs.record_scenario(timed.map(|t| t.elapsed()));
                         local.record(&outcome);
                         let mut state = drain.lock().expect("drain poisoned");
                         state.pending.insert(i, outcome);
@@ -359,18 +420,23 @@ impl Executor {
                             let Some(ready) = state.pending.remove(&turn) else {
                                 break;
                             };
-                            if let Err(error) = state.sink.record(&ready) {
+                            let span = wobs.tracer.span(PHASE_SINK);
+                            let recorded = state.sink.record(&ready);
+                            drop(span);
+                            if let Err(error) = recorded {
                                 state.error = Some(error);
                                 break;
                             }
                             state.next += 1;
                             advanced = true;
                         }
+                        reorder_depth.set(state.pending.len() as i64);
                         if advanced || state.error.is_some() {
                             drop(state);
                             turnstile.notify_all();
                         }
                     }
+                    wobs.add_sim_stats(scratch.sim.stats());
                     master
                         .lock()
                         .expect("partial-aggregate collector poisoned")
@@ -398,6 +464,7 @@ fn evaluate(
     scenario: &Scenario,
     memo: &MemoCache,
     scratch: &mut EvalScratch,
+    wobs: &WorkerObs,
 ) -> ScenarioOutcome {
     match &spec.workload {
         Workload::Synthetic(overrides) => {
@@ -412,6 +479,7 @@ fn evaluate(
                 config_fingerprint: overrides.fingerprint(),
             };
             let problem = memo.problem(key, || {
+                let _span = wobs.tracer.span(PHASE_GENERATE);
                 let config = overrides.config_for(scenario.cores);
                 generate_problem_seeded(
                     &config,
@@ -432,7 +500,16 @@ fn evaluate(
                     problem.total_utilization(),
                 );
             }
-            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo, scratch)
+            allocate_and_measure(
+                spec,
+                scenario,
+                key,
+                &problem,
+                taskset_hash,
+                memo,
+                scratch,
+                wobs,
+            )
         }
         Workload::CaseStudyUav => {
             let key = ProblemKey {
@@ -443,6 +520,7 @@ fn evaluate(
                 config_fingerprint: CASE_STUDY_FINGERPRINT,
             };
             let problem = memo.problem(key, || {
+                let _span = wobs.tracer.span(PHASE_GENERATE);
                 AllocationProblem::new(
                     hydra_core::casestudy::uav_rt_tasks(),
                     hydra_core::catalog::table1_tasks(),
@@ -451,7 +529,16 @@ fn evaluate(
                 .with_partition_config(Workload::uav_partition_config())
             });
             let taskset_hash = hash_taskset(&problem.rt_tasks);
-            allocate_and_measure(spec, scenario, key, &problem, taskset_hash, memo, scratch)
+            allocate_and_measure(
+                spec,
+                scenario,
+                key,
+                &problem,
+                taskset_hash,
+                memo,
+                scratch,
+                wobs,
+            )
         }
     }
 }
@@ -467,6 +554,7 @@ fn allocate_shared(
     problem: &AllocationProblem,
     taskset_hash: u64,
     memo: &MemoCache,
+    wobs: &WorkerObs,
 ) -> Result<Allocation, AllocationError> {
     let single_core = scenario.allocator == AllocatorKind::SingleCore;
     if single_core && problem.cores < 2 {
@@ -485,6 +573,7 @@ fn allocate_shared(
             config: problem.partition_config,
         },
         || {
+            let _span = wobs.tracer.span(PHASE_PARTITION);
             partition_tasks(&problem.rt_tasks, rt_cores, &problem.partition_config)
                 .map_err(|e| e.task)
         },
@@ -506,6 +595,43 @@ fn allocate_shared(
     }
 }
 
+/// The Optimal scheme's allocation path: shares the real-time partition
+/// through the memo exactly like [`allocate_shared`] (same key family), but
+/// runs the branch-and-bound through its stats-returning entry point so the
+/// search counters flow onto the registry. The returned allocation is
+/// identical to the plain [`Allocator::allocate_with_rt_partition`] path.
+fn allocate_optimal(
+    problem: &AllocationProblem,
+    taskset_hash: u64,
+    memo: &MemoCache,
+    wobs: &WorkerObs,
+) -> Result<Allocation, AllocationError> {
+    let shared = memo.partition(
+        PartitionKey {
+            taskset_hash,
+            cores: problem.cores,
+            config: problem.partition_config,
+        },
+        || {
+            let _span = wobs.tracer.span(PHASE_PARTITION);
+            partition_tasks(&problem.rt_tasks, problem.cores, &problem.partition_config)
+                .map_err(|e| e.task)
+        },
+    );
+    match shared.as_ref() {
+        Err(task) => Err(AllocationError::RtPartitionFailed {
+            task: *task,
+            cores: problem.cores,
+        }),
+        Ok(partition) => {
+            let (allocation, stats) =
+                OptimalAllocator::default().allocate_with_rt_partition_stats(problem, partition)?;
+            wobs.add_search_stats(stats.visited, stats.pruned, stats.total);
+            Ok(allocation)
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn allocate_and_measure(
     spec: &ScenarioSpec,
@@ -515,6 +641,7 @@ fn allocate_and_measure(
     taskset_hash: u64,
     memo: &MemoCache,
     scratch: &mut EvalScratch,
+    wobs: &WorkerObs,
 ) -> ScenarioOutcome {
     let base = ScenarioOutcome {
         scenario: *scenario,
@@ -538,10 +665,17 @@ fn allocate_and_measure(
             allocator: scenario.allocator,
         },
         || {
-            let allocator = scenario
-                .allocator
-                .build(problem.security_tasks.len(), &spec.workload);
-            allocate_shared(scenario, &*allocator, problem, taskset_hash, memo)
+            let _span = wobs.tracer.span(PHASE_ALLOCATE);
+            if scenario.allocator == AllocatorKind::Optimal {
+                // Routed through the stats-returning entry point (identical
+                // result) so the search counters reach the registry.
+                allocate_optimal(problem, taskset_hash, memo, wobs)
+            } else {
+                let allocator = scenario
+                    .allocator
+                    .build(problem.security_tasks.len(), &spec.workload);
+                allocate_shared(scenario, &*allocator, problem, taskset_hash, memo, wobs)
+            }
         },
     );
     match shared.as_ref() {
@@ -553,6 +687,7 @@ fn allocate_and_measure(
             // preserve (precedence ordering across cores) keep their granted
             // periods under every policy.
             let allocation = if scenario.allocator.supports_period_reoptimization() {
+                let _span = wobs.tracer.span(PHASE_PERIOD_POLICY);
                 scenario.policy.apply(problem, allocation.clone())
             } else {
                 allocation.clone()
@@ -567,6 +702,7 @@ fn allocate_and_measure(
                     horizon,
                     attacks,
                     scratch,
+                    wobs,
                 )),
             };
             ScenarioOutcome {
@@ -597,7 +733,11 @@ fn measure_detection(
     horizon: Time,
     attacks: usize,
     scratch: &mut EvalScratch,
+    wobs: &WorkerObs,
 ) -> DetectionStats {
+    // One span over the whole measurement: workload build, attack
+    // generation, the event-driven simulation and the latency fold.
+    let _span = wobs.tracer.span(PHASE_SIMULATE);
     simulation_tasks_into(problem, allocation, &mut scratch.tasks);
     // Keep injections away from the tail so slow checks can still complete;
     // the seed depends on the problem address but NOT the allocator, so every

@@ -61,6 +61,7 @@ pub mod checkpoint;
 pub mod exec;
 pub mod grid;
 pub mod memo;
+pub mod obs;
 pub mod scenario;
 pub mod sink;
 pub mod spec;
@@ -75,6 +76,7 @@ pub use memo::{
     hash_taskset, AllocationKey, MemoCache, MemoStats, PartitionKey, ProblemKey, SharedAllocation,
     SharedPartition,
 };
+pub use obs::{phase_table, SweepObs, WorkerObs, ENGINE_TRACK, PHASES};
 pub use rt_core::Time;
 pub use scenario::{DetectionStats, Scenario, ScenarioOutcome};
 pub use sink::{CsvSink, JsonlSink, NullSink, OutcomeSink, TeeSink, VecSink};

@@ -129,6 +129,22 @@ pub type SharedPartition = Arc<Result<Partition, TaskId>>;
 /// not once per period policy).
 pub type SharedAllocation = Arc<Result<Allocation, AllocationError>>;
 
+/// Mirror counters on the metrics registry, so the live heartbeat can read
+/// memo traffic mid-sweep instead of waiting for the end-of-run
+/// [`MemoStats`]. Inert (no-op handles) unless the cache was built with
+/// [`MemoCache::with_observability`].
+#[derive(Debug, Default)]
+struct MemoObsCounters {
+    problem_hits: rt_obs::Counter,
+    problem_misses: rt_obs::Counter,
+    feasibility_hits: rt_obs::Counter,
+    feasibility_misses: rt_obs::Counter,
+    partition_hits: rt_obs::Counter,
+    partition_misses: rt_obs::Counter,
+    allocation_hits: rt_obs::Counter,
+    allocation_misses: rt_obs::Counter,
+}
+
 /// The shared memoization cache of one sweep execution.
 #[derive(Debug, Default)]
 pub struct MemoCache {
@@ -144,6 +160,7 @@ pub struct MemoCache {
     partition_misses: AtomicU64,
     allocation_hits: AtomicU64,
     allocation_misses: AtomicU64,
+    obs: MemoObsCounters,
 }
 
 impl MemoCache {
@@ -163,6 +180,27 @@ impl MemoCache {
             partition_misses: AtomicU64::new(0),
             allocation_hits: AtomicU64::new(0),
             allocation_misses: AtomicU64::new(0),
+            obs: MemoObsCounters::default(),
+        }
+    }
+
+    /// Creates an empty cache whose hit/miss counters are mirrored onto the
+    /// `memo.*` registry counters of `shard` (live telemetry for the
+    /// heartbeat). With a disabled shard this is exactly [`MemoCache::new`].
+    #[must_use]
+    pub fn with_observability(shard: &rt_obs::ShardHandle) -> Self {
+        MemoCache {
+            obs: MemoObsCounters {
+                problem_hits: shard.counter("memo.problem_hits"),
+                problem_misses: shard.counter("memo.problem_misses"),
+                feasibility_hits: shard.counter("memo.feasibility_hits"),
+                feasibility_misses: shard.counter("memo.feasibility_misses"),
+                partition_hits: shard.counter("memo.partition_hits"),
+                partition_misses: shard.counter("memo.partition_misses"),
+                allocation_hits: shard.counter("memo.allocation_hits"),
+                allocation_misses: shard.counter("memo.allocation_misses"),
+            },
+            ..MemoCache::new()
         }
     }
 
@@ -184,9 +222,11 @@ impl MemoCache {
         let shard = &self.problems[Self::shard_of(hash.wrapping_mul(0x9E37_79B9_7F4A_7C15))];
         if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
             self.problem_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.problem_hits.inc();
             return Arc::clone(found);
         }
         self.problem_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.problem_misses.inc();
         let generated = Arc::new(generate());
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(guard.entry(key).or_insert(generated))
@@ -208,9 +248,11 @@ impl MemoCache {
             .get(&(taskset_hash, cores))
         {
             self.feasibility_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.feasibility_hits.inc();
             return verdict;
         }
         self.feasibility_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.feasibility_misses.inc();
         let verdict = check();
         shard
             .lock()
@@ -236,9 +278,11 @@ impl MemoCache {
         )];
         if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
             self.partition_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.partition_hits.inc();
             return Arc::clone(found);
         }
         self.partition_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.partition_misses.inc();
         let built = Arc::new(build());
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(guard.entry(key).or_insert(built))
@@ -263,9 +307,11 @@ impl MemoCache {
         )];
         if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
             self.allocation_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.allocation_hits.inc();
             return Arc::clone(found);
         }
         self.allocation_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.allocation_misses.inc();
         let built = Arc::new(build());
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(guard.entry(key).or_insert(built))

@@ -1,0 +1,132 @@
+//! The live-progress heartbeat: a sampler thread that invokes a render
+//! callback at a fixed interval until stopped.
+//!
+//! The heartbeat owns no knowledge of what it reports — the callback
+//! closes over whatever it samples (a [`Registry`](crate::Registry), a
+//! progress counter, the clock) and renders wherever it likes (the
+//! `--progress` stderr line). Stopping is prompt: [`Heartbeat::stop`]
+//! wakes the sampler through a condvar instead of waiting out the
+//! interval, and joins the thread so no tick can land after stop returns.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Signal {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A running heartbeat sampler thread. Dropping it stops the thread.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    signal: Option<Arc<Signal>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Starts a sampler thread invoking `tick` every `interval`. The
+    /// first tick fires after one interval, not immediately.
+    #[must_use]
+    pub fn start<F>(interval: Duration, mut tick: F) -> Self
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let signal = Arc::new(Signal::default());
+        let thread_signal = Arc::clone(&signal);
+        let thread = std::thread::Builder::new()
+            .name("rt-obs-heartbeat".to_owned())
+            .spawn(move || loop {
+                let stopped = thread_signal.stopped.lock().expect("heartbeat poisoned");
+                let (stopped, timeout) = thread_signal
+                    .wake
+                    .wait_timeout_while(stopped, interval, |stopped| !*stopped)
+                    .expect("heartbeat poisoned");
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                if timeout.timed_out() {
+                    tick();
+                }
+            })
+            .expect("failed to spawn heartbeat thread");
+        Heartbeat {
+            signal: Some(signal),
+            thread: Some(thread),
+        }
+    }
+
+    /// An inert heartbeat that never ticks (for the disabled path).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Heartbeat::default()
+    }
+
+    /// Whether a sampler thread is running.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.thread.is_some()
+    }
+
+    /// Stops the sampler promptly and joins its thread. No tick runs
+    /// after this returns. Idempotent; also called on drop.
+    pub fn stop(&mut self) {
+        if let Some(signal) = self.signal.take() {
+            *signal.stopped.lock().expect("heartbeat poisoned") = true;
+            signal.wake.notify_all();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn ticks_repeatedly_until_stopped() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&ticks);
+        let mut hb = Heartbeat::start(Duration::from_millis(5), move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hb.is_enabled());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ticks.load(Ordering::Relaxed) < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        hb.stop();
+        let after_stop = ticks.load(Ordering::Relaxed);
+        assert!(after_stop >= 3, "only {after_stop} ticks");
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ticks.load(Ordering::Relaxed), after_stop);
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_a_long_interval() {
+        let mut hb = Heartbeat::start(Duration::from_secs(3600), || {});
+        let started = Instant::now();
+        hb.stop();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(!hb.is_enabled());
+        hb.stop(); // idempotent
+    }
+
+    #[test]
+    fn disabled_heartbeat_is_inert() {
+        let hb = Heartbeat::disabled();
+        assert!(!hb.is_enabled());
+    }
+}

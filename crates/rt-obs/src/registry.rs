@@ -1,0 +1,607 @@
+//! The sharded metrics registry: counters, gauges and log-bucketed
+//! histograms with one shard per worker, merged deterministically at drain.
+//!
+//! # Sharding model
+//!
+//! Workers never share metric cells: worker `w` resolves its handles
+//! through [`Registry::shard`]`(w)`, which owns an independent map of
+//! cells. Resolving a handle takes the shard's registration lock once per
+//! `(worker, key)`; after that every record operation is a single relaxed
+//! atomic on a cell no other worker writes, so the hot path is contention
+//! free. (Cells are atomics rather than plain integers because the
+//! [`Heartbeat`](crate::heartbeat::Heartbeat) sampler reads them
+//! concurrently with the workers.)
+//!
+//! # Deterministic merge
+//!
+//! [`Registry::snapshot`] merges shards into sorted maps: counters and
+//! histogram buckets add, gauges add, histogram min/max combine with
+//! min/max. Every combining operation is commutative and associative, so
+//! the merged snapshot is independent of shard order and of how work was
+//! distributed across workers — the property the registry-merge tests pin.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::PhaseRow;
+
+/// Number of log₂ buckets of a [`Histogram`]: bucket `i` counts values `v`
+/// with `2^(i-1) < v <= 2^i - 1`-ish (precisely: `64 - leading_zeros(v) = i`,
+/// with `v = 0` in bucket 0).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug, Default)]
+struct CounterCell(AtomicU64);
+
+#[derive(Debug, Default)]
+struct GaugeCell(AtomicI64);
+
+#[derive(Debug)]
+struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// The log₂ bucket index of a value.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One worker's private metric cells.
+#[derive(Debug, Default)]
+struct Shard {
+    counters: Mutex<BTreeMap<&'static str, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCell>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shards: Mutex<BTreeMap<usize, Arc<Shard>>>,
+}
+
+/// The metrics registry. Cheap to clone (an `Arc` underneath); a
+/// [`Registry::disabled`] registry hands out inert handles and snapshots
+/// empty.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// An enabled registry.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: every handle it resolves is a no-op, and
+    /// [`Registry::snapshot`] is empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The handle factory for worker `index`'s private shard (created on
+    /// first use). Distinct workers recording under the same key write
+    /// distinct cells; the snapshot merges them.
+    #[must_use]
+    pub fn shard(&self, index: usize) -> ShardHandle {
+        let shard = self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .shards
+                    .lock()
+                    .expect("registry shard map poisoned")
+                    .entry(index)
+                    .or_default(),
+            )
+        });
+        ShardHandle { shard }
+    }
+
+    /// Merges every shard into a deterministic snapshot: keys sorted,
+    /// counters/buckets/gauges summed, histogram min/max combined — all
+    /// commutative, so the result is independent of shard order.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snapshot = Snapshot::default();
+        let Some(inner) = &self.inner else {
+            return snapshot;
+        };
+        let shards: Vec<Arc<Shard>> = inner
+            .shards
+            .lock()
+            .expect("registry shard map poisoned")
+            .values()
+            .cloned()
+            .collect();
+        for shard in shards {
+            for (name, cell) in shard.counters.lock().expect("counter map poisoned").iter() {
+                // Wrapping, to match the atomics' own overflow semantics.
+                let entry = snapshot.counters.entry((*name).to_owned()).or_insert(0);
+                *entry = entry.wrapping_add(cell.0.load(Ordering::Relaxed));
+            }
+            for (name, cell) in shard.gauges.lock().expect("gauge map poisoned").iter() {
+                *snapshot.gauges.entry((*name).to_owned()).or_insert(0) +=
+                    cell.0.load(Ordering::Relaxed);
+            }
+            for (name, cell) in shard
+                .histograms
+                .lock()
+                .expect("histogram map poisoned")
+                .iter()
+            {
+                let entry = snapshot
+                    .histograms
+                    .entry((*name).to_owned())
+                    .or_insert_with(HistogramSnapshot::empty);
+                entry.count += cell.count.load(Ordering::Relaxed);
+                entry.sum = entry.sum.wrapping_add(cell.sum.load(Ordering::Relaxed));
+                let min = cell.min.load(Ordering::Relaxed);
+                if min != u64::MAX {
+                    entry.min = Some(entry.min.map_or(min, |m| m.min(min)));
+                }
+                if cell.count.load(Ordering::Relaxed) > 0 {
+                    let max = cell.max.load(Ordering::Relaxed);
+                    entry.max = Some(entry.max.map_or(max, |m| m.max(max)));
+                }
+                for (i, bucket) in cell.buckets.iter().enumerate() {
+                    entry.buckets[i] += bucket.load(Ordering::Relaxed);
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// Resolves metric handles inside one worker's shard. Handles from a
+/// disabled registry are inert.
+#[derive(Debug, Clone, Default)]
+pub struct ShardHandle {
+    shard: Option<Arc<Shard>>,
+}
+
+impl ShardHandle {
+    /// Whether handles from this shard record anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.shard.is_some()
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter {
+            cell: self.shard.as_ref().map(|s| {
+                Arc::clone(
+                    s.counters
+                        .lock()
+                        .expect("counter map poisoned")
+                        .entry(name)
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge {
+            cell: self.shard.as_ref().map(|s| {
+                Arc::clone(
+                    s.gauges
+                        .lock()
+                        .expect("gauge map poisoned")
+                        .entry(name)
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Resolves (registering on first use) the histogram `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        Histogram {
+            cell: self.shard.as_ref().map(|s| {
+                Arc::clone(
+                    s.histograms
+                        .lock()
+                        .expect("histogram map poisoned")
+                        .entry(name)
+                        .or_default(),
+                )
+            }),
+        }
+    }
+}
+
+/// A monotonically increasing count. Disabled handles are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value of **this worker's cell** (not the merged total —
+    /// use [`Registry::snapshot`] for that).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A point-in-time signed value (e.g. a queue depth). Disabled handles are
+/// no-ops. Gauges of the same name across shards **sum** in the snapshot,
+/// so either use a gauge from a single shard or treat the merged value as a
+/// total over workers.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.cell {
+            cell.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value of this worker's cell.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// sizes in bytes, …). Bucket counts are exact: every recorded sample lands
+/// in exactly one atomic bucket, so concurrent recording never loses or
+/// double-counts — the merge tests pin this.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+            cell.min.fetch_min(value, Ordering::Relaxed);
+            cell.max.fetch_max(value, Ordering::Relaxed);
+            cell.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The merged view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping is the caller's concern at ~1.8e19).
+    pub sum: u64,
+    /// Smallest sample, `None` when empty.
+    pub min: Option<u64>,
+    /// Largest sample, `None` when empty.
+    pub max: Option<u64>,
+    /// Exact per-bucket counts, indexed by log₂ bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Mean sample value, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// A merged, deterministic point-in-time view of a [`Registry`]: sorted
+/// maps, shard-order independent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Merged counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged (summed) gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Merged histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The merged value of counter `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The merged value of gauge `name` (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the documented `metrics.json` schema (no phase table — see
+    /// [`Snapshot::to_json_with_phases`]):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "rt-obs/v1",
+    ///   "counters": { "<name>": <u64>, ... },
+    ///   "gauges": { "<name>": <i64>, ... },
+    ///   "histograms": {
+    ///     "<name>": {
+    ///       "count": <u64>, "sum": <u64>,
+    ///       "min": <u64|null>, "max": <u64|null>, "mean": <f64|null>,
+    ///       "buckets": [ { "le": <u64>, "count": <u64> }, ... ]
+    ///     }, ...
+    ///   },
+    ///   "phases": { "<name>": { "count": <u64>, "total_ns": <u64>,
+    ///                           "mean_ns": <f64>, "max_ns": <u64> }, ... }
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted (snapshot maps are `BTreeMap`s); histogram `buckets`
+    /// lists only non-empty buckets, each with its inclusive upper bound
+    /// `le`. The rendering is deterministic for a fixed snapshot.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_json_with_phases(&[])
+    }
+
+    /// [`Snapshot::to_json`] with the tracer's per-phase time table under
+    /// the `"phases"` key (phases render in the order given, which is the
+    /// tracer's fixed phase order).
+    #[must_use]
+    pub fn to_json_with_phases(&self, phases: &[PhaseRow]) -> String {
+        let mut out = String::from("{\n  \"schema\": \"rt-obs/v1\",\n  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+            first = false;
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (name, value) in &self.gauges {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+            first = false;
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            let sep = if first { "" } else { "," };
+            let fmt_opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |v| v.to_string());
+            let mean = h
+                .mean()
+                .map_or_else(|| "null".to_owned(), |m| format!("{m:.1}"));
+            let _ = write!(
+                out,
+                "{sep}\n    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"mean\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                fmt_opt(h.min),
+                fmt_opt(h.max),
+                mean,
+            );
+            let mut first_bucket = true;
+            for (i, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let bsep = if first_bucket { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{bsep}{{ \"le\": {}, \"count\": {count} }}",
+                    bucket_upper_bound(i)
+                );
+                first_bucket = false;
+            }
+            out.push_str("] }");
+            first = false;
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"phases\": {");
+        first = true;
+        for row in phases {
+            let sep = if first { "" } else { "," };
+            let mean = if row.count > 0 {
+                format!("{:.1}", row.total_ns as f64 / row.count as f64)
+            } else {
+                "null".to_owned()
+            };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"count\": {}, \"total_ns\": {}, \"mean_ns\": {mean}, \
+                 \"max_ns\": {} }}",
+                row.name, row.count, row.total_ns, row.max_ns,
+            );
+            first = false;
+        }
+        out.push_str(if first { "}\n}\n" } else { "\n  }\n}\n" });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert_and_snapshot_empty() {
+        let registry = Registry::disabled();
+        assert!(!registry.is_enabled());
+        let shard = registry.shard(0);
+        assert!(!shard.is_enabled());
+        let c = shard.counter("x");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        shard.gauge("g").set(7);
+        shard.histogram("h").record(123);
+        assert_eq!(registry.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let registry = Registry::enabled();
+        registry.shard(0).counter("scenarios").add(3);
+        registry.shard(1).counter("scenarios").add(4);
+        registry.shard(1).counter("other").inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("scenarios"), 7);
+        assert_eq!(snap.counter("other"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn resolving_the_same_key_twice_shares_one_cell() {
+        let registry = Registry::enabled();
+        let shard = registry.shard(0);
+        let a = shard.counter("k");
+        let b = shard.counter("k");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_exact() {
+        let registry = Registry::enabled();
+        let h = registry.shard(0).histogram("lat");
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let hist = &snap.histograms["lat"];
+        assert_eq!(hist.count, 8);
+        assert_eq!(hist.min, Some(0));
+        assert_eq!(hist.max, Some(u64::MAX));
+        // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4 -> 3;
+        // 1023 -> 10; 1024 -> 11; u64::MAX -> 64.
+        assert_eq!(hist.buckets[0], 1);
+        assert_eq!(hist.buckets[1], 1);
+        assert_eq!(hist.buckets[2], 2);
+        assert_eq!(hist.buckets[3], 1);
+        assert_eq!(hist.buckets[10], 1);
+        assert_eq!(hist.buckets[11], 1);
+        assert_eq!(hist.buckets[64], 1);
+        assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+    }
+
+    #[test]
+    fn json_schema_has_the_documented_keys_and_sorted_names() {
+        let registry = Registry::enabled();
+        let shard = registry.shard(0);
+        shard.counter("zeta").inc();
+        shard.counter("alpha").add(2);
+        shard.gauge("depth").set(-3);
+        shard.histogram("lat").record(100);
+        let json = registry.snapshot().to_json();
+        assert!(json.contains("\"schema\": \"rt-obs/v1\""));
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"phases\""] {
+            assert!(json.contains(key), "{json}");
+        }
+        assert!(json.find("\"alpha\"").unwrap() < json.find("\"zeta\"").unwrap());
+        assert!(json.contains("\"depth\": -3"));
+        assert!(json.contains("\"le\": 127, \"count\": 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_empty_objects() {
+        let json = Registry::enabled().snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"phases\": {}"));
+    }
+
+    #[test]
+    fn gauges_sum_in_the_merged_snapshot() {
+        let registry = Registry::enabled();
+        registry.shard(0).gauge("pending").set(4);
+        registry.shard(3).gauge("pending").set(2);
+        assert_eq!(registry.snapshot().gauge("pending"), 6);
+    }
+}

@@ -1,0 +1,430 @@
+//! Phase span tracing: per-worker ring buffers of timed spans plus exact
+//! per-phase totals, exportable as Chrome trace-event JSON.
+//!
+//! # Model
+//!
+//! A [`Tracer`] is constructed over a fixed, ordered list of phase names.
+//! Each worker obtains a [`WorkerTracer`] and opens [`Span`] guards around
+//! phase executions; dropping the guard records the span. Two things are
+//! recorded per span:
+//!
+//! * **exact totals** — count / total time / max time per phase, kept in
+//!   per-worker atomics *outside* the ring buffer, so the aggregate
+//!   per-phase table ([`Tracer::phase_rows`]) is exact even when the ring
+//!   overflows;
+//! * **the span event itself** — pushed into the worker's bounded ring
+//!   buffer for [`Tracer::chrome_trace_json`]. When the ring is full the
+//!   newest events are dropped (and counted in
+//!   [`Tracer::dropped_events`]) rather than reallocating, keeping the
+//!   recording cost flat.
+//!
+//! The enabled hot path per span is two monotonic clock reads, three
+//! relaxed atomics and one push under the worker's own (uncontended)
+//! mutex. A disabled tracer hands out inert [`WorkerTracer`]s whose spans
+//! do nothing at all — not even read the clock.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-worker ring capacity (spans kept for the Chrome trace).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Aggregate timing for one phase, merged over all workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// The phase name (from the tracer's fixed phase list, in order).
+    pub name: &'static str,
+    /// Number of spans recorded for this phase.
+    pub count: u64,
+    /// Total time spent in this phase across all workers, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span of this phase, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseRow {
+    /// Mean span duration in nanoseconds, `None` when the phase never ran.
+    #[must_use]
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_ns as f64 / self.count as f64)
+    }
+}
+
+#[derive(Debug)]
+struct PhaseCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl PhaseCell {
+    fn new() -> Self {
+        PhaseCell {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One recorded span event, for the Chrome trace export.
+#[derive(Debug, Clone, Copy)]
+struct TraceEvent {
+    phase: u16,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+#[derive(Debug)]
+struct TraceShard {
+    totals: Vec<PhaseCell>,
+    ring: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl TraceShard {
+    fn new(phases: usize) -> Self {
+        TraceShard {
+            totals: (0..phases).map(|_| PhaseCell::new()).collect(),
+            ring: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    phases: &'static [&'static str],
+    epoch: Instant,
+    ring_capacity: usize,
+    shards: Mutex<BTreeMap<usize, Arc<TraceShard>>>,
+}
+
+/// The span tracer. Cheap to clone (an `Arc` underneath); a
+/// [`Tracer::disabled`] tracer hands out inert worker tracers.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer over the fixed, ordered `phases` list with the
+    /// [default](DEFAULT_RING_CAPACITY) per-worker ring capacity.
+    #[must_use]
+    pub fn enabled(phases: &'static [&'static str]) -> Self {
+        Self::with_ring_capacity(phases, DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled tracer with an explicit per-worker ring capacity.
+    #[must_use]
+    pub fn with_ring_capacity(phases: &'static [&'static str], ring_capacity: usize) -> Self {
+        assert!(
+            phases.len() <= u16::MAX as usize,
+            "too many phases for a tracer"
+        );
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                phases,
+                epoch: Instant::now(),
+                ring_capacity,
+                shards: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A disabled tracer: worker tracers and spans from it do nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The recording handle for worker `index` (shard created on first
+    /// use).
+    #[must_use]
+    pub fn worker(&self, index: usize) -> WorkerTracer {
+        let inner = self.inner.as_ref().map(|inner| {
+            let shard = Arc::clone(
+                inner
+                    .shards
+                    .lock()
+                    .expect("tracer shard map poisoned")
+                    .entry(index)
+                    .or_insert_with(|| Arc::new(TraceShard::new(inner.phases.len()))),
+            );
+            (Arc::clone(inner), shard)
+        });
+        WorkerTracer { inner, index }
+    }
+
+    /// The exact per-phase time table, merged over all workers, in the
+    /// tracer's fixed phase order. Empty for a disabled tracer.
+    #[must_use]
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let shards: Vec<Arc<TraceShard>> = inner
+            .shards
+            .lock()
+            .expect("tracer shard map poisoned")
+            .values()
+            .cloned()
+            .collect();
+        inner
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut row = PhaseRow {
+                    name,
+                    count: 0,
+                    total_ns: 0,
+                    max_ns: 0,
+                };
+                for shard in &shards {
+                    let cell = &shard.totals[i];
+                    row.count += cell.count.load(Ordering::Relaxed);
+                    row.total_ns += cell.total_ns.load(Ordering::Relaxed);
+                    row.max_ns = row.max_ns.max(cell.max_ns.load(Ordering::Relaxed));
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Total span events discarded because a worker's ring was full. The
+    /// per-phase totals are unaffected by drops.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner
+            .shards
+            .lock()
+            .expect("tracer shard map poisoned")
+            .values()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders every buffered span as Chrome trace-event JSON — one
+    /// complete (`"ph": "X"`) event per span with `pid` 1 and `tid` set to
+    /// the worker index — loadable in Perfetto or `chrome://tracing`.
+    /// Timestamps are microseconds since the tracer was created, with
+    /// nanosecond precision. Workers render in index order, each worker's
+    /// spans in recording order.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        if let Some(inner) = &self.inner {
+            let shards: Vec<(usize, Arc<TraceShard>)> = inner
+                .shards
+                .lock()
+                .expect("tracer shard map poisoned")
+                .iter()
+                .map(|(k, v)| (*k, Arc::clone(v)))
+                .collect();
+            for (worker, shard) in shards {
+                let events = shard.ring.lock().expect("trace ring poisoned");
+                for event in events.iter() {
+                    let name = inner.phases[event.phase as usize];
+                    let sep = if first { "" } else { "," };
+                    let _ = write!(
+                        out,
+                        "{sep}\n{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{}.{:03},\
+                         \"dur\":{}.{:03},\"pid\":1,\"tid\":{worker}}}",
+                        event.start_ns / 1_000,
+                        event.start_ns % 1_000,
+                        event.dur_ns / 1_000,
+                        event.dur_ns % 1_000,
+                    );
+                    first = false;
+                }
+            }
+        }
+        out.push_str(if first { "]}\n" } else { "\n]}\n" });
+        out
+    }
+}
+
+/// One worker's span-opening handle. Inert when obtained from a disabled
+/// tracer.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTracer {
+    inner: Option<(Arc<TracerInner>, Arc<TraceShard>)>,
+    index: usize,
+}
+
+impl WorkerTracer {
+    /// An inert worker tracer (equivalent to one from
+    /// [`Tracer::disabled`]).
+    #[must_use]
+    pub fn disabled() -> Self {
+        WorkerTracer::default()
+    }
+
+    /// Whether spans from this handle record anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The worker index this handle records under.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Opens a span for the phase at `phase` (an index into the tracer's
+    /// phase list); the span records when dropped. On a disabled handle
+    /// this does nothing, not even read the clock.
+    ///
+    /// # Panics
+    ///
+    /// On an enabled handle, if `phase` is out of range for the tracer's
+    /// phase list.
+    #[inline]
+    pub fn span(&self, phase: usize) -> Span<'_> {
+        Span {
+            active: self.inner.as_ref().map(|(inner, shard)| {
+                assert!(phase < inner.phases.len(), "phase index out of range");
+                ActiveSpan {
+                    inner,
+                    shard,
+                    phase: phase as u16,
+                    start: Instant::now(),
+                }
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan<'a> {
+    inner: &'a Arc<TracerInner>,
+    shard: &'a Arc<TraceShard>,
+    phase: u16,
+    start: Instant,
+}
+
+/// A guard that records one phase execution when dropped.
+#[derive(Debug)]
+#[must_use = "a span records when dropped; an unused span measures nothing"]
+pub struct Span<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end = Instant::now();
+        let dur_ns = u64::try_from(end.duration_since(active.start).as_nanos()).unwrap_or(u64::MAX);
+        let start_ns = u64::try_from(active.start.duration_since(active.inner.epoch).as_nanos())
+            .unwrap_or(u64::MAX);
+        let cell = &active.shard.totals[active.phase as usize];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        cell.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+        let mut ring = active.shard.ring.lock().expect("trace ring poisoned");
+        if ring.len() < active.inner.ring_capacity {
+            ring.push(TraceEvent {
+                phase: active.phase,
+                start_ns,
+                dur_ns,
+            });
+        } else {
+            drop(ring);
+            active.shard.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const PHASES: &[&str] = &["alpha", "beta"];
+
+    #[test]
+    fn disabled_spans_do_nothing() {
+        let tracer = Tracer::disabled();
+        let worker = tracer.worker(0);
+        assert!(!worker.is_enabled());
+        drop(worker.span(0));
+        drop(worker.span(99)); // no range check on a disabled handle
+        assert!(tracer.phase_rows().is_empty());
+        assert_eq!(tracer.chrome_trace_json(), "{\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn totals_are_exact_and_in_phase_order() {
+        let tracer = Tracer::enabled(PHASES);
+        let worker = tracer.worker(0);
+        drop(worker.span(1));
+        drop(worker.span(1));
+        drop(worker.span(0));
+        let rows = tracer.phase_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "alpha");
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[1].name, "beta");
+        assert_eq!(rows[1].count, 2);
+        assert!(rows[1].max_ns <= rows[1].total_ns);
+        assert!(rows[0].mean_ns().is_some());
+    }
+
+    #[test]
+    fn spans_measure_elapsed_time() {
+        let tracer = Tracer::enabled(PHASES);
+        let worker = tracer.worker(0);
+        let span = worker.span(0);
+        std::thread::sleep(Duration::from_millis(5));
+        drop(span);
+        let rows = tracer.phase_rows();
+        assert!(rows[0].total_ns >= 5_000_000, "{}", rows[0].total_ns);
+    }
+
+    #[test]
+    fn ring_overflow_drops_events_but_keeps_totals() {
+        let tracer = Tracer::with_ring_capacity(PHASES, 2);
+        let worker = tracer.worker(3);
+        for _ in 0..5 {
+            drop(worker.span(0));
+        }
+        assert_eq!(tracer.dropped_events(), 3);
+        assert_eq!(tracer.phase_rows()[0].count, 5);
+        let json = tracer.chrome_trace_json();
+        assert_eq!(json.matches("\"name\":\"alpha\"").count(), 2);
+        assert!(json.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn chrome_trace_events_are_complete_events() {
+        let tracer = Tracer::enabled(PHASES);
+        drop(tracer.worker(0).span(1));
+        let json = tracer.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"beta\""));
+        assert!(json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase index out of range")]
+    fn enabled_span_checks_phase_range() {
+        let tracer = Tracer::enabled(PHASES);
+        let _ = tracer.worker(0).span(2);
+    }
+}

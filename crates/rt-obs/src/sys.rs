@@ -1,0 +1,25 @@
+//! `/proc` helpers for process-level telemetry.
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux / when unreadable.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches(" kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_nonzero_on_linux() {
+        let rss = super::peak_rss_bytes().expect("VmHWM should be readable");
+        assert!(rss > 0);
+    }
+}

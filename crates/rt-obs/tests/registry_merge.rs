@@ -1,0 +1,157 @@
+//! Property tests for the metrics registry: the merged snapshot must be
+//! independent of how recordings are distributed across worker shards, and
+//! histogram bucket counts must be exact under concurrent recording.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+use rt_obs::{Registry, Tracer};
+
+const METRIC_NAMES: &[&str] = &["alpha", "beta", "gamma", "delta"];
+
+/// Replays the same `(shard, metric, value)` recording stream into a fresh
+/// registry and returns its snapshot.
+fn replay(events: &[(usize, usize, u64)]) -> rt_obs::Snapshot {
+    let registry = Registry::enabled();
+    for &(shard, metric, value) in events {
+        let name = METRIC_NAMES[metric % METRIC_NAMES.len()];
+        let handle = registry.shard(shard);
+        handle.counter(name).add(value);
+        handle.histogram(name).record(value);
+    }
+    registry.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Moving every recording to a different shard (rotated assignment)
+    /// or replaying the stream in reverse must not change the merged
+    /// snapshot: the merge is order- and placement-independent.
+    #[test]
+    fn merge_is_shard_assignment_invariant(
+        events in collection::vec((0usize..8, 0usize..4, 0u64..1_000_000), 1..=64),
+        rotation in 1usize..8,
+    ) {
+        let baseline = replay(&events);
+
+        let rotated: Vec<_> = events
+            .iter()
+            .map(|&(shard, metric, value)| ((shard + rotation) % 8, metric, value))
+            .collect();
+        prop_assert_eq!(&replay(&rotated), &baseline);
+
+        let reversed: Vec<_> = events.iter().rev().copied().collect();
+        prop_assert_eq!(&replay(&reversed), &baseline);
+
+        let all_on_one: Vec<_> = events
+            .iter()
+            .map(|&(_, metric, value)| (0usize, metric, value))
+            .collect();
+        prop_assert_eq!(&replay(&all_on_one), &baseline);
+    }
+
+    /// Counter totals and per-bucket histogram counts in the snapshot
+    /// equal the ground truth computed sequentially from the stream.
+    #[test]
+    fn snapshot_matches_ground_truth(
+        events in collection::vec((0usize..4, 0usize..4, 0u64..u64::MAX), 1..=64),
+    ) {
+        let snapshot = replay(&events);
+        let mut sums: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for &(_, metric, value) in &events {
+            let name = METRIC_NAMES[metric % METRIC_NAMES.len()];
+            // Atomic fetch_add wraps, so the ground truth must too.
+            let sum = sums.entry(name).or_insert(0);
+            *sum = sum.wrapping_add(value);
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        for (name, sum) in &sums {
+            prop_assert_eq!(snapshot.counter(name), *sum);
+            let hist = &snapshot.histograms[*name];
+            prop_assert_eq!(hist.count, counts[name]);
+            prop_assert_eq!(hist.buckets.iter().sum::<u64>(), counts[name]);
+        }
+        prop_assert_eq!(snapshot.counters.len(), sums.len());
+    }
+}
+
+/// Many threads hammering the same histogram names concurrently: every
+/// sample must land in exactly one bucket — no losses, no double counts.
+#[test]
+fn histogram_bucket_counts_are_exact_under_concurrent_recording() {
+    const THREADS: usize = 8;
+    const SAMPLES_PER_THREAD: u64 = 10_000;
+
+    let registry = Registry::enabled();
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for worker in 0..THREADS {
+        let registry = registry.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            // Half the threads share shard 0 to force same-cell contention;
+            // the rest use their own shard.
+            let shard = registry.shard(if worker % 2 == 0 { 0 } else { worker });
+            let hist = shard.histogram("lat");
+            let counter = shard.counter("samples");
+            barrier.wait();
+            for i in 0..SAMPLES_PER_THREAD {
+                // Spread samples across many log2 buckets.
+                hist.record((worker as u64 + 1) << (i % 48));
+                counter.inc();
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let snapshot = registry.snapshot();
+    let total = THREADS as u64 * SAMPLES_PER_THREAD;
+    assert_eq!(snapshot.counter("samples"), total);
+    let hist = &snapshot.histograms["lat"];
+    assert_eq!(hist.count, total);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), total);
+    assert!(hist.min.is_some() && hist.max.is_some());
+}
+
+/// Concurrent span recording keeps exact per-phase counts and the JSON
+/// exports stay parseable-shaped regardless of interleaving.
+#[test]
+fn tracer_phase_totals_are_exact_under_concurrent_recording() {
+    const PHASES: &[&str] = &["generate", "simulate"];
+    const THREADS: usize = 4;
+    const SPANS_PER_THREAD: u64 = 1_000;
+
+    let tracer = Tracer::enabled(PHASES);
+    let spawned = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for worker in 0..THREADS {
+        let tracer = tracer.clone();
+        let spawned = Arc::clone(&spawned);
+        handles.push(std::thread::spawn(move || {
+            spawned.fetch_add(1, Ordering::Relaxed);
+            let wt = tracer.worker(worker);
+            for i in 0..SPANS_PER_THREAD {
+                drop(wt.span((i % 2) as usize));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let rows = tracer.phase_rows();
+    assert_eq!(rows.len(), 2);
+    let per_phase = THREADS as u64 * SPANS_PER_THREAD / 2;
+    assert_eq!(rows[0].count, per_phase);
+    assert_eq!(rows[1].count, per_phase);
+    assert_eq!(tracer.dropped_events(), 0);
+    let json = tracer.chrome_trace_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert_eq!(json.matches("\"ph\":\"X\"").count() as u64, 2 * per_phase,);
+}

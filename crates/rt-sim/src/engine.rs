@@ -132,6 +132,26 @@ impl Ord for HeapJob {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Release(std::cmp::Reverse<(Time, usize)>);
 
+/// Scheduling-event counts of the engine, accumulated across every run
+/// through one [`SimScratch`]. These are plain (non-atomic) integers
+/// incremented on paths the engine takes anyway, so keeping them costs
+/// nothing measurable; telemetry consumers read them once per worker at
+/// drain instead of once per event.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Jobs released (moved from the release calendar to a ready queue).
+    pub releases: u64,
+    /// Jobs that ran to completion inside the horizon.
+    pub completions: u64,
+    /// Jobs cut by the horizon before completing.
+    pub truncated: u64,
+    /// Jobs suspended at a release boundary and re-queued (preemption
+    /// points: the running job stopped because a release arrived).
+    pub preemptions: u64,
+    /// Idle intervals skipped by jumping straight to the next release.
+    pub idle_jumps: u64,
+}
+
 /// Reusable buffers of the event-driven engine. One scratch serves any
 /// number of sequential simulations; in steady state no heap allocation
 /// happens per run (heaps and member lists keep their capacity).
@@ -141,6 +161,7 @@ pub struct SimScratch {
     prios: Vec<u32>,
     releases: BinaryHeap<Release>,
     ready: BinaryHeap<HeapJob>,
+    stats: SimStats,
 }
 
 impl SimScratch {
@@ -148,6 +169,19 @@ impl SimScratch {
     #[must_use]
     pub fn new() -> Self {
         SimScratch::default()
+    }
+
+    /// Scheduling-event counts accumulated over every simulation run
+    /// through this scratch since creation (or the last
+    /// [`SimScratch::reset_stats`]).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Resets the accumulated [`SimStats`] to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
     }
 }
 
@@ -158,6 +192,7 @@ fn run_core<O: SimObserver + ?Sized>(
     horizon: Time,
     releases: &mut BinaryHeap<Release>,
     ready: &mut BinaryHeap<HeapJob>,
+    stats: &mut SimStats,
     observer: &mut O,
 ) -> ControlFlow<()> {
     releases.clear();
@@ -178,6 +213,7 @@ fn run_core<O: SimObserver + ?Sized>(
                 break;
             }
             releases.pop();
+            stats.releases += 1;
             let task = &tasks[task_idx];
             ready.push(HeapJob {
                 task: task_idx,
@@ -198,6 +234,7 @@ fn run_core<O: SimObserver + ?Sized>(
             // calendar ran dry.
             match releases.peek() {
                 Some(&Release(std::cmp::Reverse((at, _)))) => {
+                    stats.idle_jumps += 1;
                     now = at;
                     continue;
                 }
@@ -219,6 +256,7 @@ fn run_core<O: SimObserver + ?Sized>(
         now = next_event;
 
         if job.remaining.is_zero() {
+            stats.completions += 1;
             observer.record(&JobRecord {
                 task: job.task,
                 release: job.release,
@@ -227,6 +265,7 @@ fn run_core<O: SimObserver + ?Sized>(
                 finish: Some(now),
             })?;
         } else if now >= horizon {
+            stats.truncated += 1;
             observer.record(&JobRecord {
                 task: job.task,
                 release: job.release,
@@ -235,12 +274,14 @@ fn run_core<O: SimObserver + ?Sized>(
                 finish: None,
             })?;
         } else {
+            stats.preemptions += 1;
             ready.push(job);
         }
 
         if now >= horizon {
             // Report the jobs that never finished, then stop this core.
             while let Some(job) = ready.pop() {
+                stats.truncated += 1;
                 observer.record(&JobRecord {
                     task: job.task,
                     release: job.release,
@@ -275,6 +316,7 @@ pub fn simulate_with_scratch<O: SimObserver + ?Sized>(
         prios,
         releases,
         ready,
+        stats,
     } = scratch;
     for core in 0..cores {
         members.clear();
@@ -292,7 +334,17 @@ pub fn simulate_with_scratch<O: SimObserver + ?Sized>(
             prios.windows(2).all(|w| w[0] != w[1]),
             "tasks sharing core {core} must have distinct priorities"
         );
-        if run_core(tasks, members, config.horizon, releases, ready, observer).is_break() {
+        if run_core(
+            tasks,
+            members,
+            config.horizon,
+            releases,
+            ready,
+            stats,
+            observer,
+        )
+        .is_break()
+        {
             return;
         }
     }
@@ -621,6 +673,51 @@ mod tests {
         // Exactly three records were delivered — the rest of core 0 and the
         // whole of core 1 were skipped.
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn sim_stats_count_scheduling_events_exactly() {
+        // hi: C=1 T=4, lo: C=3 T=10 on one core, horizon 10.
+        // Releases: hi at 0, 4, 8; lo at 0 → 4 releases.
+        // hi completes 3×; lo runs [1,4), completing exactly at the t=4
+        // release boundary → 4 completions, no preemption re-queues.
+        let tasks = vec![task("hi", 1, 4, 0, 0), task("lo", 3, 10, 0, 1)];
+        let mut scratch = SimScratch::new();
+        simulate_with_scratch(
+            &tasks,
+            &SimConfig::new(Time::from_millis(10)),
+            &mut scratch,
+            &mut |_: &JobRecord| ControlFlow::Continue(()),
+        );
+        let stats = scratch.stats();
+        assert_eq!(stats.releases, 4);
+        assert_eq!(stats.completions, 4);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(stats.preemptions, 0);
+        // lo completes exactly at the t=4 release (no gap); the only idle
+        // gap is [5,8) before hi's third release.
+        assert_eq!(stats.idle_jumps, 1);
+
+        // A genuinely preempted job: lo (C=3 T=10, prio 1) vs hi (C=2 T=4,
+        // prio 0). lo runs [2,4), is suspended by hi's release at 4, and
+        // resumes later; the horizon (9) cuts hi's third job mid-execution.
+        scratch.reset_stats();
+        assert_eq!(scratch.stats(), SimStats::default());
+        let tasks = vec![task("hi", 2, 4, 0, 0), task("lo", 3, 10, 0, 1)];
+        simulate_with_scratch(
+            &tasks,
+            &SimConfig::new(Time::from_millis(9)),
+            &mut scratch,
+            &mut |_: &JobRecord| ControlFlow::Continue(()),
+        );
+        let stats = scratch.stats();
+        assert!(stats.preemptions >= 1, "{stats:?}");
+        assert!(stats.truncated >= 1, "{stats:?}");
+        assert_eq!(
+            stats.completions + stats.truncated,
+            stats.releases,
+            "every released job is either completed or truncated: {stats:?}"
+        );
     }
 
     #[test]

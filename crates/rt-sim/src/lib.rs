@@ -53,7 +53,7 @@ pub use attack::{AttackScenario, InjectedAttack};
 pub use cdf::EmpiricalCdf;
 pub use detection::{detection_times, detection_times_online, DetectionOutcome, OnlineDetector};
 pub use engine::{
-    simulate, simulate_with, simulate_with_scratch, SimConfig, SimObserver, SimScratch,
+    simulate, simulate_with, simulate_with_scratch, SimConfig, SimObserver, SimScratch, SimStats,
 };
 pub use stats::{measured_core_utilization, response_profiles, ResponseProfile};
 pub use trace::{JobRecord, Trace};

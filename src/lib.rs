@@ -71,6 +71,14 @@ pub mod gen {
     pub use taskgen::*;
 }
 
+/// Zero-overhead metrics, phase tracing and live-progress plumbing
+/// (re-export of [`rt_obs`]): the sharded registry, span tracer and
+/// heartbeat the sweep engine records through when observability is
+/// requested.
+pub mod obs {
+    pub use rt_obs::*;
+}
+
 /// The parallel design-space exploration engine (re-export of [`rt_dse`]):
 /// declarative [`dse::ScenarioSpec`]s expanded into scenario grids and
 /// executed on a deterministic multi-threaded sweep engine.

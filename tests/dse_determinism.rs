@@ -273,6 +273,76 @@ fn streaming_partial_aggregates_match_the_buffered_summary() {
 }
 
 #[test]
+fn observability_never_changes_an_output_byte() {
+    // The rt-obs overhead contract, pinned: every combination of metrics /
+    // tracing instrumentation, across thread counts, streams the identical
+    // JSONL, CSV and summary bytes as an uninstrumented serial run — while
+    // actually recording when enabled (the guarantee is not vacuous).
+    use hydra_repro::dse::SweepObs;
+    let mut spec = ScenarioSpec::synthetic("obs-identity");
+    spec.cores = vec![2, 4];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(3);
+    spec.allocators = vec![
+        AllocatorKind::Hydra,
+        AllocatorKind::SingleCore,
+        AllocatorKind::NpHydra,
+    ];
+    spec.period_policies = vec![PeriodPolicy::Fixed, PeriodPolicy::Adapt];
+    spec.trials = 2;
+
+    let baseline = Executor::serial().run(&spec);
+    let base_jsonl = to_jsonl(&baseline.outcomes);
+    let base_csv = to_csv(&baseline.outcomes);
+    let base_summary = summary_to_csv(&aggregate(&baseline.outcomes));
+
+    for threads in [1usize, 2, 4] {
+        for (metrics, tracing) in [(true, false), (false, true), (true, true)] {
+            let obs = SweepObs::new(metrics, tracing);
+            let executor = Executor::with_threads(threads).with_observability(obs.clone());
+            let mut jsonl_sink = JsonlSink::new(Vec::new());
+            let mut csv_sink = CsvSink::new(Vec::new(), true);
+            let mut tee = TeeSink::new().with(&mut jsonl_sink).with(&mut csv_sink);
+            let summary = executor
+                .run_streaming(&spec, &mut tee)
+                .expect("in-memory sinks never fail");
+            let label = format!("threads={threads} metrics={metrics} tracing={tracing}");
+            assert_eq!(
+                String::from_utf8(jsonl_sink.into_inner()).unwrap(),
+                base_jsonl,
+                "JSONL differs with {label}"
+            );
+            assert_eq!(
+                String::from_utf8(csv_sink.into_inner()).unwrap(),
+                base_csv,
+                "CSV differs with {label}"
+            );
+            assert_eq!(
+                summary_to_csv(&summary.partial.rows()),
+                base_summary,
+                "summary differs with {label}"
+            );
+            if metrics {
+                assert_eq!(
+                    obs.registry().snapshot().counter("sweep.scenarios_done"),
+                    baseline.outcomes.len() as u64,
+                    "scenario counter wrong with {label}"
+                );
+            } else {
+                assert!(obs.registry().snapshot().counters.is_empty());
+            }
+            if tracing {
+                assert!(
+                    obs.phase_rows().iter().any(|row| row.count > 0),
+                    "no phase spans recorded with {label}"
+                );
+            } else {
+                assert!(obs.phase_rows().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
 fn detection_stats_distinguish_silence_from_instant_detection() {
     // Regression: zero detections must surface as None/missed, never 0.0 ms.
     let mut spec = ScenarioSpec::uav_detection("uav-miss", 20, 15);

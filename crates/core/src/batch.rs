@@ -1,0 +1,103 @@
+//! Lane-batched evaluation of the Eq. (5) interference bound.
+//!
+//! The joint period refinement of [`crate::joint`] scans a log-spaced grid of
+//! candidate periods per task; every candidate re-greedifies the whole
+//! lower-priority suffix against its own running interference bound. Those
+//! per-candidate bounds are independent, so the scan can keep [`LANES`]
+//! candidates in flight at once with the bound state held
+//! structure-of-arrays: one `[f64; LANES]` column for the constant parts and
+//! one for the slopes. The per-lane update is the *exact* operation sequence
+//! of [`InterferenceBound::add_task`], which makes a lane's running bound
+//! bit-identical to a scalar left fold over the same task sequence — the
+//! property the differential tests in [`crate::joint`] pin.
+
+use rt_core::batch::LANES;
+use rt_core::Time;
+
+use crate::interference::InterferenceBound;
+
+/// A structure-of-arrays bundle of up to [`LANES`] independent
+/// [`InterferenceBound`] accumulators.
+#[derive(Debug, Clone)]
+pub struct LaneBounds {
+    /// Constant parts (sum of interfering WCETs in ticks), one per lane.
+    pub constant: [f64; LANES],
+    /// Slopes (total utilisation of the interfering tasks), one per lane.
+    pub slope: [f64; LANES],
+}
+
+impl LaneBounds {
+    /// Replicates `bound` into every lane.
+    #[must_use]
+    pub fn splat(bound: &InterferenceBound) -> Self {
+        LaneBounds {
+            constant: [bound.constant; LANES],
+            slope: [bound.slope; LANES],
+        }
+    }
+
+    /// Adds an interfering task to one lane.
+    ///
+    /// Performs exactly the operations of [`InterferenceBound::add_task`], in
+    /// the same order, so the lane stays bit-identical to a scalar fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (as the scalar bound does).
+    pub fn add_task(&mut self, lane: usize, wcet: Time, period: Time) {
+        assert!(
+            !period.is_zero(),
+            "interfering task must have a positive period"
+        );
+        self.constant[lane] += wcet.as_ticks() as f64;
+        self.slope[lane] += wcet.ratio(period);
+    }
+
+    /// Extracts one lane as a scalar bound.
+    #[must_use]
+    pub fn lane(&self, lane: usize) -> InterferenceBound {
+        InterferenceBound {
+            constant: self.constant[lane],
+            slope: self.slope[lane],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_fold_is_bit_identical_to_the_scalar_fold() {
+        let seed = InterferenceBound {
+            constant: 123.0,
+            slope: 0.37,
+        };
+        let tasks = [
+            (Time::from_micros(700), Time::from_millis(10)),
+            (Time::from_micros(1300), Time::from_millis(25)),
+            (Time::from_micros(90), Time::from_millis(7)),
+        ];
+
+        let mut scalar = seed;
+        let mut lanes = LaneBounds::splat(&seed);
+        for &(wcet, period) in &tasks {
+            scalar.add_task(wcet, period);
+            for lane in 0..LANES {
+                lanes.add_task(lane, wcet, period);
+            }
+        }
+        for lane in 0..LANES {
+            let got = lanes.lane(lane);
+            assert_eq!(got.constant.to_bits(), scalar.constant.to_bits());
+            assert_eq!(got.slope.to_bits(), scalar.slope.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn zero_period_panics_like_the_scalar_bound() {
+        let mut lanes = LaneBounds::splat(&InterferenceBound::zero());
+        lanes.add_task(0, Time::from_micros(1), Time::ZERO);
+    }
+}

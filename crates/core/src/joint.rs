@@ -24,9 +24,11 @@
 //! approaching the true joint optimum closely for the small task counts used
 //! in that experiment.
 
+use rt_core::batch::{BatchMode, LANES};
 use rt_core::Time;
 
 use crate::allocation::{Allocation, AllocationProblem, SecurityPlacement};
+use crate::batch::LaneBounds;
 use crate::interference::{rt_interference_on, InterferenceBound};
 use crate::security::SecurityTask;
 
@@ -126,6 +128,93 @@ fn weighted_tightness(tasks: &[&SecurityTask], periods: &[f64]) -> f64 {
         .sum()
 }
 
+/// Lane-batched candidate scan for the coordinate-ascent refinement of task
+/// `i`: evaluates the log-spaced grid in [`LANES`]-wide chunks, each lane
+/// re-greedifying the lower-priority suffix against its own running
+/// [`LaneBounds`] accumulator.
+///
+/// Bit-identity with the scalar scan: `prefix_bound` already folded rows
+/// `0..i` minus the candidate, so seeding every lane from it and then adding
+/// row `i` (the lane's candidate) followed by the suffix rows in order
+/// replays exactly the `f64` sequence `regreedify_suffix` rebuilds per row.
+/// Likewise the objective is accumulated as the same left fold
+/// `weighted_tightness` computes: shared prefix sum, then rows `i..` in
+/// order. Candidate values do not depend on the running `best`, so folding
+/// lane verdicts in ascending grid order reproduces the scalar acceptance.
+///
+/// Returns `Some((new_best, best_candidate))` when some candidate improves on
+/// `best` by more than the tolerance.
+#[allow(clippy::too_many_arguments)]
+fn scan_grid_batched(
+    tasks: &[&SecurityTask],
+    prefix_bound: &InterferenceBound,
+    periods: &[f64],
+    i: usize,
+    lo: f64,
+    ratio: f64,
+    options: &JointOptions,
+    best: f64,
+) -> Option<(f64, f64)> {
+    let task = tasks[i];
+    let mut prefix_value = 0.0;
+    for j in 0..i {
+        prefix_value += tasks[j].weight() * tasks[j].tightness(Time::from_ticks(periods[j] as u64));
+    }
+    let mut best = best;
+    let mut best_candidate = 0.0;
+    let mut improved = false;
+    let mut g0 = 0;
+    while g0 < options.grid_points {
+        let lanes = (options.grid_points - g0).min(LANES);
+        let mut bounds = LaneBounds::splat(prefix_bound);
+        let mut feasible = [true; LANES];
+        let mut value = [0.0f64; LANES];
+        let mut cand = [0.0f64; LANES];
+        for (lane, (v, c)) in value
+            .iter_mut()
+            .zip(cand.iter_mut())
+            .enumerate()
+            .take(lanes)
+        {
+            let g = g0 + lane;
+            let frac = g as f64 / (options.grid_points - 1) as f64;
+            *c = (lo * ratio.powf(frac)).ceil();
+            let granted = Time::from_ticks(*c as u64);
+            bounds.add_task(lane, task.wcet(), granted);
+            *v = prefix_value + task.weight() * task.tightness(granted);
+        }
+        for &lp in &tasks[i + 1..] {
+            let lower = lp.desired_period().as_ticks() as f64;
+            let upper = lp.max_period().as_ticks() as f64;
+            let base_a = lp.wcet().as_ticks() as f64;
+            for lane in 0..lanes {
+                if !feasible[lane] {
+                    continue;
+                }
+                let a = base_a + bounds.constant[lane];
+                let b = bounds.slope[lane];
+                match gp_solver::scalar::minimize_linear_fractional(lower, upper, a, b).value() {
+                    Some(p) => {
+                        let granted = Time::from_ticks(p.ceil() as u64);
+                        bounds.add_task(lane, lp.wcet(), granted);
+                        value[lane] += lp.weight() * lp.tightness(granted);
+                    }
+                    None => feasible[lane] = false,
+                }
+            }
+        }
+        for lane in 0..lanes {
+            if feasible[lane] && value[lane] > best + options.improvement_tolerance {
+                best = value[lane];
+                best_candidate = cand[lane];
+                improved = true;
+            }
+        }
+        g0 += lanes;
+    }
+    improved.then_some((best, best_candidate))
+}
+
 /// Jointly optimises the periods of `tasks` (priority order, highest first)
 /// sharing a core whose real-time interference is `rt_bound`.
 ///
@@ -137,6 +226,24 @@ pub fn optimize_core_periods(
     tasks: &[&SecurityTask],
     rt_bound: &InterferenceBound,
     options: &JointOptions,
+) -> Option<CorePlan> {
+    optimize_core_periods_with_mode(tasks, rt_bound, options, BatchMode::Batch)
+}
+
+/// [`optimize_core_periods`] with an explicit kernel mode.
+///
+/// [`BatchMode::Scalar`] runs the one-candidate-at-a-time reference loop and
+/// serves as the differential oracle; [`BatchMode::Batch`] evaluates the
+/// candidate grid in [`LANES`]-wide chunks with structure-of-arrays
+/// [`LaneBounds`]. Both modes produce bit-identical plans: every lane
+/// performs the same `f64` operations in the same order as the scalar
+/// rebuild for the same candidate.
+#[must_use]
+pub fn optimize_core_periods_with_mode(
+    tasks: &[&SecurityTask],
+    rt_bound: &InterferenceBound,
+    options: &JointOptions,
+    mode: BatchMode,
 ) -> Option<CorePlan> {
     if tasks.is_empty() {
         return Some(CorePlan {
@@ -177,20 +284,33 @@ pub fn optimize_core_periods(
                 let ratio = hi / lo;
                 let mut improved_here = false;
                 let mut best_candidate = periods[i];
-                let mut scratch = periods.clone();
-                for g in 0..options.grid_points {
-                    let frac = g as f64 / (options.grid_points - 1) as f64;
-                    let candidate = (lo * ratio.powf(frac)).ceil();
-                    scratch.copy_from_slice(&periods);
-                    scratch[i] = candidate;
-                    if !regreedify_suffix(tasks, rt_bound, &mut scratch, i + 1) {
-                        continue;
+                match mode {
+                    BatchMode::Scalar => {
+                        let mut scratch = periods.clone();
+                        for g in 0..options.grid_points {
+                            let frac = g as f64 / (options.grid_points - 1) as f64;
+                            let candidate = (lo * ratio.powf(frac)).ceil();
+                            scratch.copy_from_slice(&periods);
+                            scratch[i] = candidate;
+                            if !regreedify_suffix(tasks, rt_bound, &mut scratch, i + 1) {
+                                continue;
+                            }
+                            let value = weighted_tightness(tasks, &scratch);
+                            if value > best + options.improvement_tolerance {
+                                best = value;
+                                best_candidate = candidate;
+                                improved_here = true;
+                            }
+                        }
                     }
-                    let value = weighted_tightness(tasks, &scratch);
-                    if value > best + options.improvement_tolerance {
-                        best = value;
-                        best_candidate = candidate;
-                        improved_here = true;
+                    BatchMode::Batch => {
+                        if let Some((new_best, candidate)) =
+                            scan_grid_batched(tasks, &bound, &periods, i, lo, ratio, options, best)
+                        {
+                            best = new_best;
+                            best_candidate = candidate;
+                            improved_here = true;
+                        }
                     }
                 }
                 if improved_here {
@@ -239,6 +359,19 @@ pub fn readapt_allocation(
     allocation: &Allocation,
     options: &JointOptions,
 ) -> Allocation {
+    readapt_allocation_with_mode(problem, allocation, options, BatchMode::Batch)
+}
+
+/// [`readapt_allocation`] with an explicit kernel mode for the per-core
+/// joint optimisation — see [`optimize_core_periods_with_mode`]. Both modes
+/// produce bit-identical allocations.
+#[must_use]
+pub fn readapt_allocation_with_mode(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    options: &JointOptions,
+    mode: BatchMode,
+) -> Allocation {
     let partition = allocation.rt_partition();
     let mut placements: Vec<SecurityPlacement> =
         allocation.iter().map(|(_, placement)| *placement).collect();
@@ -252,7 +385,7 @@ pub fn readapt_allocation(
         ids.sort_by_key(|&id| (problem.security_tasks[id].max_period(), id.0));
         let tasks: Vec<&SecurityTask> = ids.iter().map(|&id| &problem.security_tasks[id]).collect();
         let rt_bound = rt_interference_on(&problem.rt_tasks, partition, core);
-        if let Some(plan) = optimize_core_periods(&tasks, &rt_bound, options) {
+        if let Some(plan) = optimize_core_periods_with_mode(&tasks, &rt_bound, options, mode) {
             for (rank, &id) in ids.iter().enumerate() {
                 let period = plan.periods[rank];
                 placements[id.0] = SecurityPlacement {
@@ -511,6 +644,91 @@ mod tests {
         let readapted = readapt_allocation(&problem, &empty, &JointOptions::default());
         assert!(readapted.is_empty());
         assert_eq!(readapted, empty);
+    }
+
+    /// A grab bag of refinement-relevant geometries: interference-heavy,
+    /// weight-skewed, hog/victim, and near-saturated cores.
+    fn differential_fixtures() -> Vec<(Vec<SecurityTask>, InterferenceBound)> {
+        vec![
+            (
+                vec![
+                    sec(200, 1000, 40_000),
+                    sec(150, 1000, 40_000),
+                    sec(300, 2000, 60_000),
+                ],
+                bound(300.0, 0.55),
+            ),
+            (
+                vec![sec(900, 920, 100_000), sec(100, 2_000, 200_000)],
+                InterferenceBound::zero(),
+            ),
+            (
+                vec![
+                    sec(900, 920, 100_000).with_weight(100.0).unwrap(),
+                    sec(100, 2_000, 200_000),
+                ],
+                InterferenceBound::zero(),
+            ),
+            (
+                vec![
+                    sec(120, 800, 30_000),
+                    sec(340, 1500, 45_000),
+                    sec(60, 600, 20_000),
+                    sec(500, 4_000, 90_000),
+                    sec(75, 900, 12_000),
+                ],
+                bound(150.0, 0.4),
+            ),
+            (
+                vec![sec(10, 5_000, 50_000), sec(20, 8_000, 80_000)],
+                bound(1.0, 0.01),
+            ),
+        ]
+    }
+
+    #[test]
+    fn batched_grid_scan_is_bit_identical_to_scalar() {
+        use rt_core::batch::BatchMode;
+        for (grid_points, max_passes) in [(24, 8), (9, 3), (2, 1), (8, 8), (17, 2)] {
+            let opts = JointOptions {
+                grid_points,
+                max_passes,
+                improvement_tolerance: 1e-9,
+            };
+            for (tasks, b) in differential_fixtures() {
+                let refs: Vec<&SecurityTask> = tasks.iter().collect();
+                let batch = optimize_core_periods_with_mode(&refs, &b, &opts, BatchMode::Batch);
+                let scalar = optimize_core_periods_with_mode(&refs, &b, &opts, BatchMode::Scalar);
+                match (&batch, &scalar) {
+                    (Some(bp), Some(sp)) => {
+                        assert_eq!(bp.periods, sp.periods, "grid {grid_points}");
+                        // PartialEq on f64 would accept -0.0 == 0.0 etc.;
+                        // compare the bit patterns to pin true identity.
+                        assert_eq!(
+                            bp.weighted_tightness.to_bits(),
+                            sp.weighted_tightness.to_bits(),
+                            "grid {grid_points}"
+                        );
+                    }
+                    (None, None) => {}
+                    _ => panic!("feasibility verdicts diverged at grid {grid_points}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_readaptation_matches_scalar() {
+        use rt_core::batch::BatchMode;
+        let problem = readapt_problem();
+        let fixed = crate::allocator::HydraAllocator::default()
+            .allocate(&problem)
+            .unwrap();
+        for opts in [JointOptions::default(), JointOptions::greedy_only()] {
+            let batch = readapt_allocation_with_mode(&problem, &fixed, &opts, BatchMode::Batch);
+            let scalar = readapt_allocation_with_mode(&problem, &fixed, &opts, BatchMode::Scalar);
+            assert_eq!(batch, scalar);
+        }
     }
 
     #[test]

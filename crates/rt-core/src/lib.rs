@@ -14,7 +14,9 @@
 //! * the demand-bound function and the multiprocessor necessary condition of
 //!   Eq. (1) of the paper ([`dbf`]),
 //! * exact response-time analysis for fixed-priority preemptive uniprocessor
-//!   scheduling ([`rta`]), and
+//!   scheduling ([`rta`]),
+//! * structure-of-arrays batch kernels evaluating up to eight RTA / Eq. (1)
+//!   instances per recurrence iteration ([`batch`]), and
 //! * hyperperiod computation ([`hyperperiod`]).
 //!
 //! # Example
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod dbf;
 pub mod error;
 pub mod hyperperiod;
@@ -48,6 +51,7 @@ pub mod task;
 pub mod time;
 pub mod util;
 
+pub use batch::{BatchMode, BatchStats};
 pub use error::RtError;
 pub use priority::{Priority, PriorityAssignment, PriorityPolicy};
 pub use task::{RtTask, TaskId, TaskSet};

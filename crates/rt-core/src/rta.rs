@@ -86,7 +86,21 @@ where
     if base > deadline {
         return ResponseTime::Unschedulable;
     }
-    let mut r = base;
+    let mut util = 0.0f64;
+    for hp in interferers.clone() {
+        util += hp.wcet().ratio(hp.period());
+    }
+    let mut r = match seed_from_utilization(base.as_ticks(), util) {
+        Some(seed) => Time::from_ticks(seed),
+        // The interference alone saturates the core: the recurrence
+        // diverges, so the task cannot meet any deadline.
+        None => return ResponseTime::Unschedulable,
+    };
+    if r > deadline {
+        // The lower bound already misses the deadline; the fixed point can
+        // only be larger.
+        return ResponseTime::Unschedulable;
+    }
     loop {
         let mut next = base;
         for hp in interferers.clone() {
@@ -100,6 +114,33 @@ where
             return ResponseTime::Schedulable(r);
         }
         r = next;
+    }
+}
+
+/// A sound starting point for the response-time recurrence: the fixed point
+/// satisfies `R ≥ base / (1 − U_hp)` (drop the ceilings of the interference
+/// terms), so iterating from that bound converges to the *same* least fixed
+/// point in far fewer steps — the closer the core is to saturation, the
+/// more of the creeping early iterations the seed skips.
+///
+/// Returns `None` when the higher-priority utilization provably saturates
+/// the core (the recurrence diverges). The utilization margin keeps the
+/// bound conservative against `f64` rounding in `util`: underestimating the
+/// divisor can only lower the seed, never push it past the fixed point.
+pub(crate) fn seed_from_utilization(base: u64, util: f64) -> Option<u64> {
+    const MARGIN: f64 = 1e-9;
+    if base == 0 {
+        return Some(0);
+    }
+    if util - MARGIN >= 1.0 {
+        return None;
+    }
+    let headroom = 1.0 - (util - MARGIN);
+    let bound = (base as f64 / headroom).floor();
+    if bound.is_finite() && bound > base as f64 {
+        Some(bound as u64)
+    } else {
+        Some(base)
     }
 }
 
@@ -125,10 +166,38 @@ pub fn response_time(
 /// assignment (single core). Entry `i` corresponds to `TaskId(i)`.
 #[must_use]
 pub fn response_times(tasks: &TaskSet, priorities: &PriorityAssignment) -> Vec<ResponseTime> {
-    tasks
-        .ids()
-        .map(|id| response_time(tasks, priorities, id))
-        .collect()
+    let mut out = Vec::new();
+    response_times_into(tasks, priorities, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`response_times`]: clears `out` and fills it
+/// with entry `i` corresponding to `TaskId(i)`, reusing its capacity.
+///
+/// Unlike [`response_time`], no per-task interferer `Vec` is materialised —
+/// the higher-priority filter runs directly over the id range — so hot
+/// callers (the partition admission path) can verify a candidate core
+/// without touching the allocator.
+pub fn response_times_into(
+    tasks: &TaskSet,
+    priorities: &PriorityAssignment,
+    out: &mut Vec<ResponseTime>,
+) {
+    out.clear();
+    out.reserve(tasks.len());
+    for id in tasks.ids() {
+        let target = &tasks[id];
+        let p = priorities.priority(id);
+        let interferers = (0..tasks.len())
+            .map(TaskId)
+            .filter(|&other| priorities.priority(other).is_higher_than(p))
+            .map(|other| &tasks[other]);
+        out.push(response_time_with_interference(
+            target.wcet(),
+            target.deadline(),
+            interferers,
+        ));
+    }
 }
 
 /// Whether every task meets its deadline on a single core under the given
@@ -316,6 +385,22 @@ mod tests {
     }
 
     #[test]
+    fn response_times_into_reuses_the_buffer_and_matches_the_allocating_variant() {
+        let set: TaskSet = vec![task(1, 4), task(2, 6), task(3, 13)]
+            .into_iter()
+            .collect();
+        let pa = rm(&set);
+        let mut buf = vec![ResponseTime::Unschedulable; 17];
+        response_times_into(&set, &pa, &mut buf);
+        assert_eq!(buf, response_times(&set, &pa));
+        // A second fill must fully replace the previous contents.
+        let smaller: TaskSet = vec![task(3, 4)].into_iter().collect();
+        let pa2 = rm(&smaller);
+        response_times_into(&smaller, &pa2, &mut buf);
+        assert_eq!(buf, response_times(&smaller, &pa2));
+    }
+
+    #[test]
     fn rta_respects_priority_assignment_not_declaration_order() {
         // Declared low-priority first; RM must still figure out the order.
         let set: TaskSet = vec![task(6, 20), task(1, 5)].into_iter().collect();
@@ -324,5 +409,81 @@ mod tests {
         assert_eq!(r[1], ResponseTime::Schedulable(Time::from_millis(1)));
         // R0 = 6 + ⌈R/5⌉·1 → 6→8→8 (⌈8/5⌉ = 2) → 8.
         assert_eq!(r[0], ResponseTime::Schedulable(Time::from_millis(8)));
+    }
+
+    /// The naive recurrence — iterate from `base` with no seeding — kept as
+    /// the reference the seeded production path is differentially tested
+    /// against (a shared soundness bug in the seed cannot hide here).
+    fn naive_response_time(
+        wcet: Time,
+        deadline: Time,
+        blocking: Time,
+        interferers: &[&RtTask],
+    ) -> ResponseTime {
+        let base = wcet.saturating_add(blocking);
+        if base > deadline {
+            return ResponseTime::Unschedulable;
+        }
+        let mut r = base;
+        loop {
+            let mut next = base;
+            for hp in interferers {
+                let jobs = r.div_ceil(hp.period());
+                next = next.saturating_add(hp.wcet().saturating_mul(jobs));
+            }
+            if next > deadline {
+                return ResponseTime::Unschedulable;
+            }
+            if next == r {
+                return ResponseTime::Schedulable(r);
+            }
+            r = next;
+        }
+    }
+
+    mod seeded_vs_naive {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_task() -> impl Strategy<Value = RtTask> {
+            (1u64..400, 1u64..1000, 0.1f64..1.0).prop_map(|(c, t, d_frac)| {
+                let period = c.max(t);
+                let deadline = ((period as f64 * d_frac) as u64).clamp(c, period);
+                RtTask::new(
+                    Time::from_ticks(c),
+                    Time::from_ticks(period),
+                    Time::from_ticks(deadline),
+                )
+                .unwrap()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn seeded_recurrence_is_bit_identical_to_the_naive_iteration(
+                interferers in prop::collection::vec(arb_task(), 0..10),
+                c in 1u64..400,
+                d in 1u64..2000,
+                b in 0u64..50,
+            ) {
+                // Saturated cores very much included: the interferer
+                // utilization is unconstrained, so the divergence early-out
+                // and near-saturation seeds are exercised.
+                let refs: Vec<&RtTask> = interferers.iter().collect();
+                let seeded = response_time_with_blocking(
+                    Time::from_ticks(c),
+                    Time::from_ticks(d),
+                    Time::from_ticks(b),
+                    refs.iter().copied(),
+                );
+                let naive = naive_response_time(
+                    Time::from_ticks(c),
+                    Time::from_ticks(d),
+                    Time::from_ticks(b),
+                    &refs,
+                );
+                prop_assert_eq!(seeded, naive);
+            }
+        }
     }
 }

@@ -63,6 +63,10 @@ SWEEP OPTIONS:
     --seed S              base seed                         [default: 2018]
     --threads N           worker threads (0 = all cores)    [default: 0]
     --serial              force single-threaded execution
+    --no-batch            evaluate with the scalar analysis kernels instead
+                          of the 8-lane batch kernels (outputs are
+                          byte-identical either way; this flag exists for
+                          differential testing and performance comparison)
     --sample N            sample at most N points from the full grid
     --sec-tasks LO,HI     override the security task-count range
     --workload KIND       synthetic | uav                   [default: synthetic]
@@ -496,11 +500,17 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         progress.is_some() || metrics_out.is_some(),
         trace_out.is_some(),
     );
+    let batch = if args.flag("--no-batch") {
+        BatchMode::Scalar
+    } else {
+        BatchMode::Batch
+    };
     let executor = if args.flag("--serial") {
         Executor::serial()
     } else {
         Executor::with_threads(args.parsed("--threads")?.unwrap_or(0))
     }
+    .with_batch_mode(batch)
     .with_observability(obs.clone());
     let shard = args.shard()?;
     let resume = args.flag("--resume");

@@ -25,14 +25,15 @@
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hydra_core::allocator::{Allocator, OptimalAllocator, SingleCoreAllocator};
 use hydra_core::{Allocation, AllocationError, AllocationProblem};
+use rt_core::batch::{BatchDemandKernel, BatchMode, BatchStats, LANES};
 use rt_core::dbf::necessary_condition_default_horizon;
 use rt_core::Time;
-use rt_partition::partition_tasks;
+use rt_partition::partition_tasks_with_mode;
 use rt_sim::attack::{AttackScenario, InjectedAttack};
 use rt_sim::detection::OnlineDetector;
 use rt_sim::engine::{simulate_with_scratch, SimConfig, SimScratch};
@@ -56,6 +57,13 @@ const ATTACK_SALT: u64 = 0xa77a_c852_11fe_c7ed;
 
 /// Fingerprint marking case-study problem keys (no generator config).
 const CASE_STUDY_FINGERPRINT: u64 = u64::MAX;
+
+/// Lookahead width (in grid scenarios) of the batched Eq. (1) feasibility
+/// prefetch: wide enough to span several allocator/policy-axis repetitions
+/// of the same problem address and still collect [`LANES`] distinct task
+/// sets from the utilization/trial axes, while staying well inside the
+/// reorder window so prefetched work is never wasted on unevaluated points.
+const PREFETCH_WINDOW: usize = 64;
 
 /// The contiguous scenario-index range of shard `index` (1-based) out of
 /// `count` equal splits of a grid: concatenating every shard's streamed
@@ -152,6 +160,7 @@ fn throughput(evaluated: usize, elapsed: Duration) -> Option<f64> {
 pub struct Executor {
     threads: usize,
     obs: SweepObs,
+    batch: BatchMode,
 }
 
 /// Per-worker reusable evaluation buffers. Each worker thread owns one
@@ -175,6 +184,12 @@ pub struct EvalScratch {
     sim: SimScratch,
     /// The streaming detection observer.
     detector: OnlineDetector,
+    /// The lane-batched Eq. (1) demand kernel of the feasibility prefetch.
+    demand: BatchDemandKernel,
+    /// Problems (with their task-set hashes) staged for one prefetch batch.
+    prefetch: Vec<(Arc<AllocationProblem>, u64)>,
+    /// Problem keys already staged in the current prefetch window.
+    prefetch_keys: Vec<ProblemKey>,
 }
 
 impl EvalScratch {
@@ -205,6 +220,7 @@ impl Executor {
         Executor {
             threads: 1,
             obs: SweepObs::disabled(),
+            batch: BatchMode::Batch,
         }
     }
 
@@ -214,6 +230,7 @@ impl Executor {
         Executor {
             threads: 0,
             obs: SweepObs::disabled(),
+            batch: BatchMode::Batch,
         }
     }
 
@@ -223,7 +240,21 @@ impl Executor {
         Executor {
             threads,
             obs: SweepObs::disabled(),
+            batch: BatchMode::Batch,
         }
+    }
+
+    /// Selects the analysis-kernel mode: [`BatchMode::Batch`] (the default)
+    /// routes the hot partition-admission RTA, Eq. (1) feasibility and
+    /// joint-refinement math through the lane-batched SoA kernels;
+    /// [`BatchMode::Scalar`] forces the reference scalar implementations
+    /// everywhere. Outputs are byte-identical either way (the determinism
+    /// tests prove it); the switch exists for differential testing and the
+    /// `dse --no-batch` CLI flag.
+    #[must_use]
+    pub fn with_batch_mode(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Attaches an observability bundle: metric/span recording flows into
@@ -309,9 +340,18 @@ impl Executor {
             let wobs = self.obs.worker(0);
             let mut acc = SweepAccumulator::new();
             let mut scratch = EvalScratch::new();
-            for scenario in slice {
+            for (i, scenario) in slice.iter().enumerate() {
                 let timed = wobs.metrics_enabled().then(Instant::now);
-                let outcome = evaluate(spec, scenario, &memo, &mut scratch, &wobs);
+                let lookahead = &slice[i + 1..slice.len().min(i + 1 + PREFETCH_WINDOW)];
+                let outcome = evaluate(
+                    spec,
+                    scenario,
+                    lookahead,
+                    &memo,
+                    &mut scratch,
+                    &wobs,
+                    self.batch,
+                );
                 wobs.record_scenario(timed.map(|t| t.elapsed()));
                 acc.record(&outcome);
                 let span = wobs.tracer.span(PHASE_SINK);
@@ -409,7 +449,16 @@ impl Executor {
                             }
                         }
                         let timed = wobs.metrics_enabled().then(Instant::now);
-                        let outcome = evaluate(spec, &slice[i], memo, &mut scratch, &wobs);
+                        let lookahead = &slice[i + 1..slice.len().min(i + 1 + PREFETCH_WINDOW)];
+                        let outcome = evaluate(
+                            spec,
+                            &slice[i],
+                            lookahead,
+                            memo,
+                            &mut scratch,
+                            &wobs,
+                            self.batch,
+                        );
                         wobs.record_scenario(timed.map(|t| t.elapsed()));
                         local.record(&outcome);
                         let mut state = drain.lock().expect("drain poisoned");
@@ -459,12 +508,17 @@ impl Executor {
 }
 
 /// Evaluates a single scenario point, reusing the worker's `scratch`.
+/// `lookahead` is the window of grid scenarios after this one, which the
+/// batched feasibility prefetch mines for same-shape lanes.
+#[allow(clippy::too_many_arguments)]
 fn evaluate(
     spec: &ScenarioSpec,
     scenario: &Scenario,
+    lookahead: &[Scenario],
     memo: &MemoCache,
     scratch: &mut EvalScratch,
     wobs: &WorkerObs,
+    mode: BatchMode,
 ) -> ScenarioOutcome {
     match &spec.workload {
         Workload::Synthetic(overrides) => {
@@ -489,6 +543,19 @@ fn evaluate(
                 )
             });
             let taskset_hash = hash_taskset(&problem.rt_tasks);
+            if mode == BatchMode::Batch {
+                prefetch_feasibility_batch(
+                    spec,
+                    scenario,
+                    key,
+                    &problem,
+                    taskset_hash,
+                    lookahead,
+                    memo,
+                    scratch,
+                    wobs,
+                );
+            }
             let feasible = memo.feasibility(taskset_hash, scenario.cores, || {
                 necessary_condition_default_horizon(&problem.rt_tasks, scenario.cores)
             });
@@ -509,6 +576,7 @@ fn evaluate(
                 memo,
                 scratch,
                 wobs,
+                mode,
             )
         }
         Workload::CaseStudyUav => {
@@ -538,9 +606,102 @@ fn evaluate(
                 memo,
                 scratch,
                 wobs,
+                mode,
             )
         }
     }
+}
+
+/// Lane-batched Eq. (1) prefetch. When the current scenario's feasibility
+/// verdict is uncached, mine the upcoming grid window for other uncached
+/// same-cores problems and resolve up to [`LANES`] of them in one pass of
+/// the SoA demand kernel (shape grouping: the core count must match so all
+/// lanes share one capacity bound; task counts may differ — short lanes are
+/// padded with zero-demand rows). Verdicts enter the memo as *fresh*
+/// entries, which defer their miss to the first counted access, so hit/miss
+/// statistics and sweep outputs are byte-identical to the scalar path.
+/// A window yielding a single lane falls back to the scalar closure of the
+/// counted access and books a `batch.scalar_fallbacks`.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_feasibility_batch(
+    spec: &ScenarioSpec,
+    scenario: &Scenario,
+    current_key: ProblemKey,
+    problem: &Arc<AllocationProblem>,
+    taskset_hash: u64,
+    lookahead: &[Scenario],
+    memo: &MemoCache,
+    scratch: &mut EvalScratch,
+    wobs: &WorkerObs,
+) {
+    let Workload::Synthetic(overrides) = &spec.workload else {
+        return;
+    };
+    if memo.feasibility_present(taskset_hash, scenario.cores) {
+        return;
+    }
+    scratch.prefetch.clear();
+    scratch.prefetch.push((Arc::clone(problem), taskset_hash));
+    scratch.prefetch_keys.clear();
+    scratch.prefetch_keys.push(current_key);
+    for next in lookahead {
+        if scratch.prefetch.len() >= LANES {
+            break;
+        }
+        // Shape grouping: only same-cores grid points share a kernel pass.
+        if next.cores != scenario.cores {
+            continue;
+        }
+        let Some(utilization) = next.utilization else {
+            continue;
+        };
+        let key = ProblemKey {
+            cores: next.cores,
+            utilization_bits: utilization.to_bits(),
+            base_seed: spec.base_seed,
+            stream: next.problem_stream,
+            config_fingerprint: overrides.fingerprint(),
+        };
+        // The allocator/policy axes repeat problem addresses back to back;
+        // each distinct address contributes at most one lane.
+        if scratch.prefetch_keys.contains(&key) {
+            continue;
+        }
+        scratch.prefetch_keys.push(key);
+        let next_problem = memo.prefetch_problem(key, || {
+            let _span = wobs.tracer.span(PHASE_GENERATE);
+            let config = overrides.config_for(next.cores);
+            generate_problem_seeded(&config, utilization, spec.base_seed, next.problem_stream)
+        });
+        let hash = hash_taskset(&next_problem.rt_tasks);
+        if memo.feasibility_present(hash, next.cores)
+            || scratch.prefetch.iter().any(|(_, h)| *h == hash)
+        {
+            continue;
+        }
+        scratch.prefetch.push((next_problem, hash));
+    }
+    let lanes = scratch.prefetch.len();
+    let mut stats = BatchStats::default();
+    if lanes >= 2 {
+        scratch.demand.begin(lanes);
+        for (lane, (staged, _)) in scratch.prefetch.iter().enumerate() {
+            scratch
+                .demand
+                .load_default_horizon(lane, &staged.rt_tasks, scenario.cores);
+        }
+        let verdicts = scratch.demand.check(scenario.cores);
+        stats.record_batch(lanes);
+        for (lane, (_, hash)) in scratch.prefetch.iter().enumerate() {
+            memo.prefetch_feasibility(*hash, scenario.cores, verdicts[lane]);
+        }
+    } else {
+        // Nothing to pair the current scenario with: leave its verdict to
+        // the scalar closure of the counted access.
+        stats.record_fallback();
+    }
+    wobs.add_batch_stats(&stats);
+    scratch.prefetch.clear();
 }
 
 /// Runs the scenario's allocator against the (memoized) shared real-time
@@ -548,6 +709,7 @@ fn evaluate(
 /// identically, so the allocator axis reuses one `partition_tasks` result
 /// per `(task set, cores, config)` key; SingleCore shares the `M − 1`-core
 /// entry and re-expresses it over the full platform.
+#[allow(clippy::too_many_arguments)]
 fn allocate_shared(
     scenario: &Scenario,
     allocator: &dyn Allocator,
@@ -555,6 +717,7 @@ fn allocate_shared(
     taskset_hash: u64,
     memo: &MemoCache,
     wobs: &WorkerObs,
+    mode: BatchMode,
 ) -> Result<Allocation, AllocationError> {
     let single_core = scenario.allocator == AllocatorKind::SingleCore;
     if single_core && problem.cores < 2 {
@@ -574,8 +737,17 @@ fn allocate_shared(
         },
         || {
             let _span = wobs.tracer.span(PHASE_PARTITION);
-            partition_tasks(&problem.rt_tasks, rt_cores, &problem.partition_config)
-                .map_err(|e| e.task)
+            let mut bstats = BatchStats::default();
+            let built = partition_tasks_with_mode(
+                &problem.rt_tasks,
+                rt_cores,
+                &problem.partition_config,
+                mode,
+                &mut bstats,
+            )
+            .map_err(|e| e.task);
+            wobs.add_batch_stats(&bstats);
+            built
         },
     );
     match shared.as_ref() {
@@ -605,6 +777,7 @@ fn allocate_optimal(
     taskset_hash: u64,
     memo: &MemoCache,
     wobs: &WorkerObs,
+    mode: BatchMode,
 ) -> Result<Allocation, AllocationError> {
     let shared = memo.partition(
         PartitionKey {
@@ -614,8 +787,17 @@ fn allocate_optimal(
         },
         || {
             let _span = wobs.tracer.span(PHASE_PARTITION);
-            partition_tasks(&problem.rt_tasks, problem.cores, &problem.partition_config)
-                .map_err(|e| e.task)
+            let mut bstats = BatchStats::default();
+            let built = partition_tasks_with_mode(
+                &problem.rt_tasks,
+                problem.cores,
+                &problem.partition_config,
+                mode,
+                &mut bstats,
+            )
+            .map_err(|e| e.task);
+            wobs.add_batch_stats(&bstats);
+            built
         },
     );
     match shared.as_ref() {
@@ -642,6 +824,7 @@ fn allocate_and_measure(
     memo: &MemoCache,
     scratch: &mut EvalScratch,
     wobs: &WorkerObs,
+    mode: BatchMode,
 ) -> ScenarioOutcome {
     let base = ScenarioOutcome {
         scenario: *scenario,
@@ -669,12 +852,20 @@ fn allocate_and_measure(
             if scenario.allocator == AllocatorKind::Optimal {
                 // Routed through the stats-returning entry point (identical
                 // result) so the search counters reach the registry.
-                allocate_optimal(problem, taskset_hash, memo, wobs)
+                allocate_optimal(problem, taskset_hash, memo, wobs, mode)
             } else {
                 let allocator = scenario
                     .allocator
                     .build(problem.security_tasks.len(), &spec.workload);
-                allocate_shared(scenario, &*allocator, problem, taskset_hash, memo, wobs)
+                allocate_shared(
+                    scenario,
+                    &*allocator,
+                    problem,
+                    taskset_hash,
+                    memo,
+                    wobs,
+                    mode,
+                )
             }
         },
     );
@@ -688,7 +879,9 @@ fn allocate_and_measure(
             // periods under every policy.
             let allocation = if scenario.allocator.supports_period_reoptimization() {
                 let _span = wobs.tracer.span(PHASE_PERIOD_POLICY);
-                scenario.policy.apply(problem, allocation.clone())
+                scenario
+                    .policy
+                    .apply_with_mode(problem, allocation.clone(), mode)
             } else {
                 allocation.clone()
             };

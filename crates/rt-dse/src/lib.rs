@@ -77,6 +77,7 @@ pub use memo::{
     SharedPartition,
 };
 pub use obs::{phase_table, SweepObs, WorkerObs, ENGINE_TRACK, PHASES};
+pub use rt_core::batch::{BatchMode, BatchStats};
 pub use rt_core::Time;
 pub use scenario::{DetectionStats, Scenario, ScenarioOutcome};
 pub use sink::{CsvSink, JsonlSink, NullSink, OutcomeSink, TeeSink, VecSink};
@@ -98,4 +99,5 @@ pub mod prelude {
         AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
         UtilizationGrid, Workload,
     };
+    pub use rt_core::batch::BatchMode;
 }

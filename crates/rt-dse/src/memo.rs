@@ -21,6 +21,35 @@
 //! The cache is sharded to keep lock contention negligible under the
 //! work-stealing executor; every entry is immutable once inserted (`Arc`ed
 //! problems), so readers never block writers of *other* keys for long.
+//!
+//! # Why partition hits are structurally rare in two-scheme sweeps
+//!
+//! Sweep telemetry for the default bench grid (Hydra + SingleCore) shows
+//! thousands of partition misses against a handful of hits. That is not an
+//! over-discriminating key — it is the composition of three structural
+//! facts:
+//!
+//! 1. **The allocation memo sits upstream.** `partition` is only consulted
+//!    from inside an allocator run, and whole allocator runs are themselves
+//!    cached per `(problem, scheme)`. The period-policy axis therefore never
+//!    reaches the partition cache at all, and a scheme revisiting a problem
+//!    hits the allocation cache first.
+//! 2. **Hydra-family and SingleCore keys are disjoint.** Every full-platform
+//!    scheme (Hydra, NpHydra, Precedence, Optimal) partitions `M` cores and
+//!    shares one key family; SingleCore partitions `M − 1` cores, a family
+//!    no other scheme can ever share. A Hydra + SingleCore sweep — the
+//!    paper's headline comparison — thus has **zero** possible cross-scheme
+//!    reuse, and each feasible problem misses exactly twice.
+//! 3. **Task sets are unique per scenario address.** The taskset hash is
+//!    structural, and the generator derives each set from its own
+//!    `(seed, stream)` address, so two grid points virtually never produce
+//!    identical timing parameters; the stray hits in telemetry are
+//!    low-utilization collisions (tiny sets at the same normalized step).
+//!
+//! Sweeps mixing two or more full-platform schemes do reuse partitions —
+//! one miss then one hit per extra scheme per feasible problem — which is
+//! the intended hit pattern the `partition_reuse_is_per_key_family` test
+//! pins.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,6 +158,10 @@ pub type SharedPartition = Arc<Result<Partition, TaskId>>;
 /// not once per period policy).
 pub type SharedAllocation = Arc<Result<Allocation, AllocationError>>;
 
+/// One shard of a cache family whose values carry the *fresh* flag described
+/// on [`MemoCache`] (true = prefetched, not yet counted).
+type FreshShard<K, V> = Mutex<HashMap<K, (V, bool)>>;
+
 /// Mirror counters on the metrics registry, so the live heartbeat can read
 /// memo traffic mid-sweep instead of waiting for the end-of-run
 /// [`MemoStats`]. Inert (no-op handles) unless the cache was built with
@@ -146,10 +179,18 @@ struct MemoObsCounters {
 }
 
 /// The shared memoization cache of one sweep execution.
+///
+/// Problem and feasibility entries carry a *fresh* flag: an entry inserted
+/// by one of the `prefetch_*` methods (the batched lookahead path) is marked
+/// fresh and stays invisible to the hit/miss counters until the first
+/// counted access, which books the miss the scalar path would have booked
+/// and clears the flag. Counters are therefore identical whether batching
+/// is on or off — the property the engine's pinned memo-count tests rely
+/// on.
 #[derive(Debug, Default)]
 pub struct MemoCache {
-    problems: Vec<Mutex<HashMap<ProblemKey, Arc<AllocationProblem>>>>,
-    feasibility: Vec<Mutex<HashMap<(u64, usize), bool>>>,
+    problems: Vec<FreshShard<ProblemKey, Arc<AllocationProblem>>>,
+    feasibility: Vec<FreshShard<(u64, usize), bool>>,
     partitions: Vec<Mutex<HashMap<PartitionKey, SharedPartition>>>,
     allocations: Vec<Mutex<HashMap<AllocationKey, SharedAllocation>>>,
     problem_hits: AtomicU64,
@@ -218,18 +259,52 @@ impl MemoCache {
         key: ProblemKey,
         generate: impl FnOnce() -> AllocationProblem,
     ) -> Arc<AllocationProblem> {
-        let hash = key.stream ^ key.base_seed.rotate_left(32) ^ (key.cores as u64).rotate_left(48);
-        let shard = &self.problems[Self::shard_of(hash.wrapping_mul(0x9E37_79B9_7F4A_7C15))];
-        if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
-            self.problem_hits.fetch_add(1, Ordering::Relaxed);
-            self.obs.problem_hits.inc();
+        let shard = self.problem_shard(key);
+        if let Some((found, fresh)) = shard.lock().expect("memo shard poisoned").get_mut(&key) {
+            if *fresh {
+                // A prefetched entry: the generation already happened on the
+                // lookahead path, but this is the access the scalar engine
+                // would have paid for — book the miss it would have booked.
+                *fresh = false;
+                self.problem_misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.problem_misses.inc();
+            } else {
+                self.problem_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.problem_hits.inc();
+            }
             return Arc::clone(found);
         }
         self.problem_misses.fetch_add(1, Ordering::Relaxed);
         self.obs.problem_misses.inc();
         let generated = Arc::new(generate());
         let mut guard = shard.lock().expect("memo shard poisoned");
-        Arc::clone(guard.entry(key).or_insert(generated))
+        Arc::clone(&guard.entry(key).or_insert((generated, false)).0)
+    }
+
+    fn problem_shard(
+        &self,
+        key: ProblemKey,
+    ) -> &Mutex<HashMap<ProblemKey, (Arc<AllocationProblem>, bool)>> {
+        let hash = key.stream ^ key.base_seed.rotate_left(32) ^ (key.cores as u64).rotate_left(48);
+        &self.problems[Self::shard_of(hash.wrapping_mul(0x9E37_79B9_7F4A_7C15))]
+    }
+
+    /// Uncounted lookahead access: returns the problem for `key`, generating
+    /// and caching it (marked *fresh*) on a miss. The first counted
+    /// [`MemoCache::problem`] access then books the miss, so prefetching
+    /// never perturbs the hit/miss statistics.
+    pub fn prefetch_problem(
+        &self,
+        key: ProblemKey,
+        generate: impl FnOnce() -> AllocationProblem,
+    ) -> Arc<AllocationProblem> {
+        let shard = self.problem_shard(key);
+        if let Some((found, _)) = shard.lock().expect("memo shard poisoned").get(&key) {
+            return Arc::clone(found);
+        }
+        let generated = Arc::new(generate());
+        let mut guard = shard.lock().expect("memo shard poisoned");
+        Arc::clone(&guard.entry(key).or_insert((generated, true)).0)
     }
 
     /// Returns the cached Eq. (1) verdict for `(taskset_hash, cores)`,
@@ -240,16 +315,23 @@ impl MemoCache {
         cores: usize,
         check: impl FnOnce() -> bool,
     ) -> bool {
-        let shard = &self.feasibility
-            [Self::shard_of(taskset_hash.wrapping_add((cores as u64).rotate_left(40)))];
-        if let Some(&verdict) = shard
+        let shard = self.feasibility_shard(taskset_hash, cores);
+        if let Some((verdict, fresh)) = shard
             .lock()
             .expect("memo shard poisoned")
-            .get(&(taskset_hash, cores))
+            .get_mut(&(taskset_hash, cores))
         {
-            self.feasibility_hits.fetch_add(1, Ordering::Relaxed);
-            self.obs.feasibility_hits.inc();
-            return verdict;
+            if *fresh {
+                // Batched lookahead computed this verdict; book the miss the
+                // scalar path would have booked (see `prefetch_feasibility`).
+                *fresh = false;
+                self.feasibility_misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.feasibility_misses.inc();
+            } else {
+                self.feasibility_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.feasibility_hits.inc();
+            }
+            return *verdict;
         }
         self.feasibility_misses.fetch_add(1, Ordering::Relaxed);
         self.obs.feasibility_misses.inc();
@@ -257,8 +339,41 @@ impl MemoCache {
         shard
             .lock()
             .expect("memo shard poisoned")
-            .insert((taskset_hash, cores), verdict);
+            .entry((taskset_hash, cores))
+            .or_insert((verdict, false));
         verdict
+    }
+
+    fn feasibility_shard(
+        &self,
+        taskset_hash: u64,
+        cores: usize,
+    ) -> &FreshShard<(u64, usize), bool> {
+        &self.feasibility[Self::shard_of(taskset_hash.wrapping_add((cores as u64).rotate_left(40)))]
+    }
+
+    /// Whether a feasibility verdict for `(taskset_hash, cores)` is already
+    /// cached (fresh or not). Uncounted — the lookahead path uses it to pick
+    /// batch lanes without disturbing the statistics.
+    #[must_use]
+    pub fn feasibility_present(&self, taskset_hash: u64, cores: usize) -> bool {
+        self.feasibility_shard(taskset_hash, cores)
+            .lock()
+            .expect("memo shard poisoned")
+            .contains_key(&(taskset_hash, cores))
+    }
+
+    /// Uncounted lookahead insert of a batch-computed Eq. (1) verdict,
+    /// marked *fresh*: the first counted [`MemoCache::feasibility`] access
+    /// books the miss the scalar path would have booked. An already-present
+    /// entry is left untouched (the racing value is identical — the kernel
+    /// is deterministic).
+    pub fn prefetch_feasibility(&self, taskset_hash: u64, cores: usize, verdict: bool) {
+        self.feasibility_shard(taskset_hash, cores)
+            .lock()
+            .expect("memo shard poisoned")
+            .entry((taskset_hash, cores))
+            .or_insert((verdict, true));
     }
 
     /// Returns the cached real-time partition for `key`, computing it with
@@ -469,6 +584,84 @@ mod tests {
         }
         assert_eq!(cache.stats().allocation_misses, 2);
         assert_eq!(cache.stats().allocation_hits, 3);
+    }
+
+    #[test]
+    fn prefetched_problems_defer_their_miss_to_the_first_counted_access() {
+        let cache = MemoCache::new();
+        // Prefetch generates but books nothing.
+        let mut calls = 0;
+        let _ = cache.prefetch_problem(key(1), || {
+            calls += 1;
+            uav_problem()
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), MemoStats::default());
+        // The first counted access books the miss the scalar path would
+        // have booked — without regenerating.
+        let _ = cache.problem(key(1), || {
+            calls += 1;
+            uav_problem()
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().problem_misses, 1);
+        assert_eq!(cache.stats().problem_hits, 0);
+        // Subsequent accesses hit as usual.
+        let _ = cache.problem(key(1), uav_problem);
+        assert_eq!(cache.stats().problem_hits, 1);
+        // Prefetching an already-counted entry changes nothing.
+        let _ = cache.prefetch_problem(key(1), uav_problem);
+        let _ = cache.problem(key(1), uav_problem);
+        assert_eq!(cache.stats().problem_misses, 1);
+        assert_eq!(cache.stats().problem_hits, 2);
+    }
+
+    #[test]
+    fn prefetched_feasibility_verdicts_are_counter_neutral() {
+        let cache = MemoCache::new();
+        assert!(!cache.feasibility_present(7, 2));
+        cache.prefetch_feasibility(7, 2, true);
+        assert!(cache.feasibility_present(7, 2));
+        assert_eq!(cache.stats(), MemoStats::default());
+        // First counted access: the deferred miss, no recomputation.
+        assert!(cache.feasibility(7, 2, || panic!("verdict was prefetched")));
+        assert_eq!(cache.stats().feasibility_misses, 1);
+        assert_eq!(cache.stats().feasibility_hits, 0);
+        // Second counted access: a plain hit.
+        assert!(cache.feasibility(7, 2, || panic!("verdict was cached")));
+        assert_eq!(cache.stats().feasibility_hits, 1);
+        // A prefetch never overwrites an existing verdict.
+        cache.prefetch_feasibility(7, 2, false);
+        assert!(cache.feasibility(7, 2, || unreachable!()));
+    }
+
+    #[test]
+    fn partition_reuse_is_per_key_family() {
+        // The intended hit pattern (see the module docs): full-platform
+        // schemes share the M-core key family — one miss, then one hit per
+        // extra scheme — while SingleCore's M − 1-core family is disjoint,
+        // so a Hydra + SingleCore sweep structurally cannot cross-hit.
+        let cache = MemoCache::new();
+        let config = PartitionConfig::paper_default();
+        let full = PartitionKey {
+            taskset_hash: 42,
+            cores: 4,
+            config,
+        };
+        // Hydra partitions the full platform…
+        let _ = cache.partition(full, || Ok(Partition::new(6, 4)));
+        // …and NpHydra / Precedence / Optimal reuse that exact entry.
+        for _ in 0..3 {
+            let _ = cache.partition(full, || panic!("full-platform entry must be shared"));
+        }
+        assert_eq!(cache.stats().partition_misses, 1);
+        assert_eq!(cache.stats().partition_hits, 3);
+        // SingleCore asks for M − 1 cores: a different key family, so the
+        // same task set misses again — no cross-scheme reuse is possible.
+        let single = PartitionKey { cores: 3, ..full };
+        let _ = cache.partition(single, || Ok(Partition::new(6, 3)));
+        assert_eq!(cache.stats().partition_misses, 2);
+        assert_eq!(cache.stats().partition_hits, 3);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Property-based tests for the partitioning heuristics.
 
 use proptest::prelude::*;
+use rt_core::batch::{BatchMode, BatchStats};
 use rt_core::rta::is_schedulable_rm;
 use rt_core::{RtTask, TaskSet, Time};
-use rt_partition::{partition_tasks, AdmissionTest, Heuristic, PartitionConfig, TaskOrdering};
+use rt_partition::{
+    partition_tasks, partition_tasks_with_mode, AdmissionTest, Heuristic, PartitionConfig,
+    TaskOrdering,
+};
 
 fn arb_task() -> impl Strategy<Value = RtTask> {
     (500u64..=30_000, 40_000u64..=500_000).prop_map(|(c, t)| {
@@ -78,6 +82,47 @@ proptest! {
             if partition_tasks(&set, cores, &ll).is_ok() {
                 prop_assert!(partition_tasks(&set, cores, &exact).is_ok());
             }
+        }
+    }
+
+    #[test]
+    fn batched_partitioner_matches_the_scalar_oracle(set in arb_taskset(), cores in 2usize..=9) {
+        // Cores up to 9 exercise the ragged single-lane remainder chunk.
+        for cfg in all_configs() {
+            let mut stats = BatchStats::default();
+            let batch = partition_tasks_with_mode(&set, cores, &cfg, BatchMode::Batch, &mut stats);
+            let scalar = partition_tasks_with_mode(
+                &set,
+                cores,
+                &cfg,
+                BatchMode::Scalar,
+                &mut BatchStats::default(),
+            );
+            prop_assert_eq!(batch, scalar, "config {:?} diverged", cfg);
+        }
+    }
+
+    #[test]
+    fn batched_partitioner_matches_oracle_under_heavy_period_ties(
+        wcets in prop::collection::vec(500u64..=30_000, 1..=12),
+        cores in 2usize..=4
+    ) {
+        // Periods drawn from a two-value pool force rate-monotonic ties, the
+        // corner where candidate-last tie-breaking and assigned-order differ.
+        let set: TaskSet = wcets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let t = if i % 2 == 0 { 40_000 } else { 80_000 };
+                RtTask::implicit_deadline(Time::from_micros(c.min(t)), Time::from_micros(t)).unwrap()
+            })
+            .collect();
+        for cfg in all_configs() {
+            let batch = partition_tasks_with_mode(
+                &set, cores, &cfg, BatchMode::Batch, &mut BatchStats::default());
+            let scalar = partition_tasks_with_mode(
+                &set, cores, &cfg, BatchMode::Scalar, &mut BatchStats::default());
+            prop_assert_eq!(batch, scalar, "config {:?} diverged", cfg);
         }
     }
 

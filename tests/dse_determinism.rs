@@ -256,6 +256,76 @@ fn three_policy_paired_sweeps_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn batched_and_scalar_kernels_stream_identical_bytes() {
+    // The batch-kernel contract, pinned: switching the executor between the
+    // 8-lane structure-of-arrays kernels (the default) and the scalar
+    // oracles never changes an output byte — across the full allocator and
+    // period-policy axes, at any thread count.
+    let mut spec = ScenarioSpec::synthetic("batch-identity");
+    spec.cores = vec![2, 4];
+    spec.utilizations = UtilizationGrid::NormalizedSteps(3);
+    spec.allocators = vec![
+        AllocatorKind::Hydra,
+        AllocatorKind::SingleCore,
+        AllocatorKind::NpHydra,
+    ];
+    spec.period_policies = vec![
+        PeriodPolicy::Fixed,
+        PeriodPolicy::Adapt,
+        PeriodPolicy::Joint,
+    ];
+    spec.trials = 2;
+
+    let scalar = Executor::serial()
+        .with_batch_mode(BatchMode::Scalar)
+        .run(&spec);
+    let scalar_jsonl = to_jsonl(&scalar.outcomes);
+    let scalar_csv = to_csv(&scalar.outcomes);
+    let scalar_summary = summary_to_csv(&aggregate(&scalar.outcomes));
+
+    for threads in [1usize, 2, 4] {
+        for mode in [BatchMode::Batch, BatchMode::Scalar] {
+            let run = Executor::with_threads(threads)
+                .with_batch_mode(mode)
+                .run(&spec);
+            let label = format!("threads={threads} mode={mode:?}");
+            assert_eq!(
+                to_jsonl(&run.outcomes),
+                scalar_jsonl,
+                "JSONL differs with {label}"
+            );
+            assert_eq!(
+                to_csv(&run.outcomes),
+                scalar_csv,
+                "CSV differs with {label}"
+            );
+            assert_eq!(
+                summary_to_csv(&aggregate(&run.outcomes)),
+                scalar_summary,
+                "summary differs with {label}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batching_on_and_off_agree_on_random_sweeps(spec in arb_spec()) {
+        // Quantified over random axes: the batched default and the scalar
+        // oracle serialize every sweep to the identical bytes.
+        let batched = Executor::serial().run(&spec);
+        let scalar = Executor::serial()
+            .with_batch_mode(BatchMode::Scalar)
+            .run(&spec);
+        prop_assert_eq!(&batched.outcomes, &scalar.outcomes);
+        prop_assert_eq!(to_jsonl(&batched.outcomes), to_jsonl(&scalar.outcomes));
+        prop_assert_eq!(to_csv(&batched.outcomes), to_csv(&scalar.outcomes));
+    }
+}
+
+#[test]
 fn streaming_partial_aggregates_match_the_buffered_summary() {
     let mut spec = ScenarioSpec::synthetic("online-agg");
     spec.cores = vec![2, 4];

@@ -14,6 +14,9 @@
 //! * `BENCH_GATE_SKIP=1` — emit the JSON but skip the regression assertion
 //!   (for debugging on known-slow machines).
 
+// Benches own the wall clock (lint rule D002 boundary).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

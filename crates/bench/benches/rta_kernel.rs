@@ -14,6 +14,9 @@
 //!
 //! * `BENCH_RTA_JSON` — output path (default `<workspace>/BENCH_rta.json`).
 
+// Benches own the wall clock (lint rule D002 boundary).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -19,6 +19,9 @@
 //! Environment knobs mirror the sweep gate: `BENCH_SIM_JSON` overrides the
 //! output path, `BENCH_GATE_SKIP=1` emits the JSON but skips the assertions.
 
+// Benches own the wall clock (lint rule D002 boundary).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -19,8 +19,12 @@
 //! group, only the scheduled scenarios' tightness samples are retained
 //! (8 bytes each — required for exact percentiles); everything else is O(1)
 //! counters.
+//!
+//! All group state lives in `BTreeMap`s (lint rule D001): rendering walks
+//! the maps in key order directly, so determinism is a property of the
+//! container, not of a sort step someone could forget.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hydra_core::metrics::{mean, percentile_sorted, AcceptanceCounter};
 
@@ -105,7 +109,7 @@ impl GroupAcc {
 /// [`SweepAccumulator::rows`].
 #[derive(Debug, Clone, Default)]
 pub struct SweepAccumulator {
-    groups: HashMap<GroupKey, GroupAcc>,
+    groups: BTreeMap<GroupKey, GroupAcc>,
 }
 
 impl SweepAccumulator {
@@ -147,14 +151,13 @@ impl SweepAccumulator {
     }
 
     /// Renders the aggregate rows, sorted by `(cores, allocator, policy,
-    /// utilization)` so the output is deterministic.
+    /// utilization)` so the output is deterministic (the `BTreeMap` walks
+    /// its keys in exactly that order).
     #[must_use]
     pub fn rows(&self) -> Vec<AggregateRow> {
-        let mut keys: Vec<GroupKey> = self.groups.keys().copied().collect();
-        keys.sort_unstable();
-        keys.into_iter()
-            .map(|key| {
-                let group = &self.groups[&key];
+        self.groups
+            .iter()
+            .map(|(key, group)| {
                 let mut tightness = group.tightness.clone();
                 tightness.sort_by(f64::total_cmp);
                 AggregateRow {
@@ -180,11 +183,8 @@ impl SweepAccumulator {
     #[must_use]
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let mut keys: Vec<GroupKey> = self.groups.keys().copied().collect();
-        keys.sort_unstable();
         let mut out = String::new();
-        for key in keys {
-            let group = &self.groups[&key];
+        for (key, group) in &self.groups {
             let _ = write!(
                 out,
                 "group {} {} {} {:x} {} {} {}",
@@ -326,8 +326,8 @@ struct PendingPair {
 pub struct PairedSink {
     a: AllocatorKind,
     b: AllocatorKind,
-    pending: HashMap<(usize, PeriodPolicy, u64, u64), PendingPair>,
-    points: HashMap<(usize, PeriodPolicy, u64), PointAcc>,
+    pending: BTreeMap<(usize, PeriodPolicy, u64, u64), PendingPair>,
+    points: BTreeMap<(usize, PeriodPolicy, u64), PointAcc>,
 }
 
 impl PairedSink {
@@ -337,8 +337,8 @@ impl PairedSink {
         PairedSink {
             a,
             b,
-            pending: HashMap::new(),
-            points: HashMap::new(),
+            pending: BTreeMap::new(),
+            points: BTreeMap::new(),
         }
     }
 
@@ -384,19 +384,16 @@ impl PairedSink {
     }
 
     /// Renders the comparison series, sorted by `(cores, policy,
-    /// utilization)`. Order-independent: every per-point vector is sorted
-    /// before summing.
+    /// utilization)` — the `BTreeMap`'s key order. Order-independent:
+    /// every per-point vector is sorted before summing.
     #[must_use]
     pub fn into_points(self) -> Vec<PairedPoint> {
-        let mut point_keys: Vec<(usize, PeriodPolicy, u64)> = self.points.keys().copied().collect();
-        point_keys.sort_unstable();
-        point_keys
+        self.points
             .into_iter()
-            .map(|(cores, policy, util_bits)| {
-                let acc = &self.points[&(cores, policy, util_bits)];
-                let mut a_values = acc.a_values.clone();
-                let mut b_values = acc.b_values.clone();
-                let mut gaps = acc.gaps.clone();
+            .map(|((cores, policy, util_bits), acc)| {
+                let mut a_values = acc.a_values;
+                let mut b_values = acc.b_values;
+                let mut gaps = acc.gaps;
                 a_values.sort_by(f64::total_cmp);
                 b_values.sort_by(f64::total_cmp);
                 gaps.sort_by(f64::total_cmp);

@@ -34,6 +34,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// rt-obs owns the wall clock (lint rule D002) — the workspace-wide
+// disallowed-methods entry for Instant::now/SystemTime::now stops here.
+#![allow(clippy::disallowed_methods)]
 
 pub mod heartbeat;
 pub mod registry;

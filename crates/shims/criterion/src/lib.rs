@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A bench harness exists to read the clock (lint rule D002 boundary).
+#![allow(clippy::disallowed_methods)]
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};

@@ -140,6 +140,8 @@ pub fn uunifast_discard<R: Rng + ?Sized>(n: usize, sum: f64, rng: &mut R) -> Vec
             return values;
         }
     }
+    // lint-ok(D004): documented "# Panics" contract — MAX_ATTEMPTS discard
+    // rounds exhausting means the caller asked for an infeasible (n, sum).
     panic!("uunifast_discard failed to find a valid vector for n = {n}, sum = {sum}");
 }
 

@@ -1,0 +1,226 @@
+//! `lints.toml` — the deliberate-suppression ledger.
+//!
+//! Two mechanisms exist to silence a rule, both of which must name a reason:
+//!
+//! * an inline `// lint-ok(RULE): reason` comment (or, for D003, a
+//!   `relaxed-ok` verdict) on or directly above the offending line;
+//! * a `[[allow]]` path entry here, for whole files/modules where the rule's
+//!   premise doesn't apply (e.g. a keyed cache that is never iterated).
+//!
+//! The `[budget]` table is the ratchet: it pins the number of *inline*
+//! suppressions per rule. Adding a new `lint-ok`/`relaxed-ok` comment without
+//! raising the budget fails the gate, so suppressions stay a reviewed,
+//! deliberate act rather than an accumulating habit.
+//!
+//! The parser below covers exactly the subset this file uses — `[section]`,
+//! `[[array-of-tables]]`, `key = "string"` and `key = integer` — because the
+//! container is offline and the linter is std-only by design.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One path allowlist entry: `rule` is silenced under `path` (a file or
+/// directory prefix, workspace-relative with forward slashes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule ID, e.g. `D001`.
+    pub rule: String,
+    /// Workspace-relative path prefix the allowance covers.
+    pub path: String,
+    /// Why the rule does not apply there (required).
+    pub reason: String,
+}
+
+/// Parsed `lints.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Path allowlist entries, in file order.
+    pub allows: Vec<AllowEntry>,
+    /// Per-rule inline-suppression budgets; `None` when the file has no
+    /// `[budget]` table (budgets not enforced — fixture corpora use this).
+    pub budgets: Option<BTreeMap<String, u64>>,
+}
+
+impl Config {
+    /// Whether `rule` is path-allowlisted for workspace-relative `rel`.
+    #[must_use]
+    pub fn allows_path(&self, rule: &str, rel: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && rel.starts_with(a.path.as_str()))
+    }
+}
+
+/// Loads `path`, treating a missing file as the empty config.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O or syntax problem.
+pub fn load(path: &Path) -> Result<Config, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Parses the `lints.toml` subset.
+///
+/// # Errors
+///
+/// Returns a `line N: …` description of the first syntax problem.
+pub fn parse(text: &str) -> Result<Config, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Allow,
+        Budget,
+    }
+    let mut config = Config::default();
+    let mut section = Section::None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_owned();
+        let err = |msg: &str| Err(format!("line {}: {msg}", idx + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            config.allows.push(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if line == "[budget]" {
+            config.budgets.get_or_insert_with(BTreeMap::new);
+            section = Section::Budget;
+            continue;
+        }
+        if line.starts_with('[') {
+            return err(&format!("unknown section {line}"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err("expected `key = value`");
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match section {
+            Section::None => return err("key outside any section"),
+            Section::Allow => {
+                let value = parse_string(value)
+                    .ok_or_else(|| format!("line {}: expected a quoted string value", idx + 1))?;
+                let entry = config
+                    .allows
+                    .last_mut()
+                    .expect("section Allow implies an open entry");
+                match key {
+                    "rule" => entry.rule = value,
+                    "path" => entry.path = value,
+                    "reason" => entry.reason = value,
+                    other => return err(&format!("unknown allow key `{other}`")),
+                }
+            }
+            Section::Budget => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: expected an integer budget", idx + 1))?;
+                config
+                    .budgets
+                    .get_or_insert_with(BTreeMap::new)
+                    .insert(key.to_owned(), n);
+            }
+        }
+    }
+    for (i, a) in config.allows.iter().enumerate() {
+        if a.rule.is_empty() || a.path.is_empty() {
+            return Err(format!(
+                "allow entry #{} is missing `rule` or `path`",
+                i + 1
+            ));
+        }
+        if a.reason.is_empty() {
+            return Err(format!(
+                "allow entry #{} ({} on {}) has no `reason` — suppressions must be justified",
+                i + 1,
+                a.rule,
+                a.path
+            ));
+        }
+    }
+    Ok(config)
+}
+
+/// Drops a trailing `# comment` (quote-aware).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a `"…"` TOML string (no escapes needed by this file).
+fn parse_string(value: &str) -> Option<String> {
+    let value = value.trim();
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allows_and_budgets() {
+        let cfg = parse(
+            "# header\n\
+             [[allow]]\n\
+             rule = \"D001\"  # trailing\n\
+             path = \"crates/rt-dse/src/memo.rs\"\n\
+             reason = \"keyed cache, never iterated\"\n\
+             \n\
+             [budget]\n\
+             D002 = 4\n\
+             D003 = 3\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.allows_path("D001", "crates/rt-dse/src/memo.rs"));
+        assert!(!cfg.allows_path("D002", "crates/rt-dse/src/memo.rs"));
+        assert!(!cfg.allows_path("D001", "crates/rt-dse/src/agg.rs"));
+        let budgets = cfg.budgets.unwrap();
+        assert_eq!(budgets.get("D002"), Some(&4));
+        assert_eq!(budgets.get("D001"), None);
+    }
+
+    #[test]
+    fn directory_prefixes_cover_children() {
+        let cfg = parse(
+            "[[allow]]\nrule = \"D001\"\npath = \"crates/core/src/allocator/\"\nreason = \"x\"\n",
+        )
+        .unwrap();
+        assert!(cfg.allows_path("D001", "crates/core/src/allocator/optimal.rs"));
+        assert!(!cfg.allows_path("D001", "crates/core/src/metrics.rs"));
+    }
+
+    #[test]
+    fn rejects_unjustified_or_malformed_entries() {
+        assert!(parse("[[allow]]\nrule = \"D001\"\npath = \"x\"\n").is_err());
+        assert!(parse("stray = 1\n").is_err());
+        assert!(parse("[bogus]\n").is_err());
+        assert!(parse("[budget]\nD001 = \"two\"\n").is_err());
+        assert!(parse("[[allow]]\nrule = D001\npath = \"x\"\nreason = \"y\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_config_has_no_budgets() {
+        let cfg = parse("").unwrap();
+        assert!(cfg.allows.is_empty());
+        assert!(cfg.budgets.is_none());
+    }
+}

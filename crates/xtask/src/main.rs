@@ -1,0 +1,122 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! ```text
+//! cargo xtask lint [--root DIR] [--config FILE] [--json FILE] [--stats] [--quiet]
+//! cargo xtask rules
+//! ```
+//!
+//! `lint` exits 0 when the workspace is clean, 1 on findings or ratchet
+//! violations, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{config, engine, report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            print!("{}", report::catalog());
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+cargo xtask lint [--root DIR] [--config FILE] [--json FILE] [--stats] [--quiet]
+    Run the determinism & concurrency lint gate over the workspace.
+cargo xtask rules
+    Print the rule catalog (IDs, rationales, fix hints).
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut stats = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_arg = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => match path_arg("--root") {
+                Ok(p) => root = Some(p),
+                Err(e) => return usage_error(&e),
+            },
+            "--config" => match path_arg("--config") {
+                Ok(p) => config_path = Some(p),
+                Err(e) => return usage_error(&e),
+            },
+            "--json" => match path_arg("--json") {
+                Ok(p) => json_path = Some(p),
+                Err(e) => return usage_error(&e),
+            },
+            "--stats" => stats = true,
+            "--quiet" => quiet = true,
+            other => return usage_error(&format!("unknown lint flag `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this xtask was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let config_path = config_path.unwrap_or_else(|| root.join("crates/xtask/lints.toml"));
+
+    let config = match config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match engine::run(&root, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report::json(&outcome)) {
+            eprintln!("xtask lint: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if stats {
+        print!("{}", report::stats(&outcome));
+    }
+    if !quiet || !outcome.clean() {
+        print!("{}", report::human(&outcome));
+    }
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xtask lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,181 @@
+//! Rendering: human findings, the `--stats` suppression table, and the
+//! machine-readable `LINT_report.json` document.
+
+use std::fmt::Write as _;
+
+use crate::engine::LintOutcome;
+use crate::rules;
+
+/// Human-readable findings (one block per finding, with rationale + hint).
+#[must_use]
+pub fn human(outcome: &LintOutcome) -> String {
+    let mut out = String::new();
+    for f in &outcome.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: {} [{} {}]\n    why:  {}\n    fix:  {}",
+            f.rel,
+            f.line,
+            f.message,
+            f.rule.id(),
+            f.rule.name(),
+            f.rule.rationale(),
+            f.rule.hint(),
+        );
+    }
+    for e in &outcome.budget_errors {
+        let _ = writeln!(out, "ratchet: {e}");
+    }
+    let _ = writeln!(
+        out,
+        "{} finding(s), {} ratchet violation(s)",
+        outcome.findings.len(),
+        outcome.budget_errors.len()
+    );
+    out
+}
+
+/// The `--stats` table: per-rule suppression surface.
+#[must_use]
+pub fn stats(outcome: &LintOutcome) -> String {
+    let mut out =
+        String::from("rule  inline-suppressions  path-allows  path-suppressed-findings\n");
+    for rule in rules::ALL {
+        let id = rule.id();
+        let get = |m: &std::collections::BTreeMap<String, u64>| m.get(id).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{id}  {:>19}  {:>11}  {:>24}",
+            get(&outcome.stats.inline),
+            get(&outcome.stats.path_allows),
+            get(&outcome.stats.path_suppressed),
+        );
+    }
+    out
+}
+
+/// The rule catalog (for `cargo xtask rules`).
+#[must_use]
+pub fn catalog() -> String {
+    let mut out = String::new();
+    for rule in rules::ALL {
+        let _ = writeln!(
+            out,
+            "{} {}\n    why:  {}\n    fix:  {}",
+            rule.id(),
+            rule.name(),
+            rule.rationale(),
+            rule.hint(),
+        );
+    }
+    out
+}
+
+/// The machine-readable findings document (`LINT_report.json`).
+#[must_use]
+pub fn json(outcome: &LintOutcome) -> String {
+    let mut out = String::from("{\n  \"schema\": \"xtask-lint/v1\",\n  \"findings\": [");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\"}}",
+            if i == 0 { "" } else { "," },
+            f.rule.id(),
+            f.rule.name(),
+            escape(&f.rel),
+            f.line,
+            escape(&f.message),
+        );
+    }
+    out.push_str(if outcome.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"budget_errors\": [");
+    for (i, e) in outcome.budget_errors.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    \"{}\"",
+            if i == 0 { "" } else { "," },
+            escape(e)
+        );
+    }
+    out.push_str(if outcome.budget_errors.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"stats\": {");
+    let mut first = true;
+    for rule in rules::ALL {
+        let id = rule.id();
+        let get = |m: &std::collections::BTreeMap<String, u64>| m.get(id).copied().unwrap_or(0);
+        let _ = write!(
+            out,
+            "{}\n    \"{id}\": {{\"inline\": {}, \"path_allows\": {}, \"path_suppressed\": {}}}",
+            if first { "" } else { "," },
+            get(&outcome.stats.inline),
+            get(&outcome.stats.path_allows),
+            get(&outcome.stats.path_suppressed),
+        );
+        first = false;
+    }
+    let _ = writeln!(out, "\n  }},\n  \"clean\": {}\n}}", outcome.clean());
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    #[test]
+    fn json_document_is_wellformed_for_empty_and_nonempty() {
+        let empty = LintOutcome::default();
+        let doc = json(&empty);
+        assert!(doc.contains("\"clean\": true"));
+        assert!(doc.contains("\"findings\": []"));
+
+        let mut outcome = LintOutcome::default();
+        outcome.findings.push(Finding {
+            rule: Rule::D001,
+            rel: "a/b.rs".to_owned(),
+            line: 7,
+            message: "uses \"HashMap\"".to_owned(),
+        });
+        outcome.budget_errors.push("D003: over budget".to_owned());
+        let doc = json(&outcome);
+        assert!(doc.contains("\"rule\": \"D001\""));
+        assert!(doc.contains("\\\"HashMap\\\""));
+        assert!(doc.contains("\"clean\": false"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn catalog_lists_every_rule() {
+        let text = catalog();
+        for rule in rules::ALL {
+            assert!(text.contains(rule.id()));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! D006 — schema drift: the `rt-obs/v1` metric names and the CSV/JSONL
+//! column lists are extracted from the rt-dse sources and cross-checked
+//! against the machine-readable schema tables in README.md.
+//!
+//! README side: each table sits under an HTML marker comment and is a fenced
+//! code block with one entry per line:
+//!
+//! ```text
+//! <!-- lint-schema: metrics -->        counter sweep.scenarios_done …
+//! <!-- lint-schema: csv-columns -->    index …
+//! <!-- lint-schema: summary-columns -->cores …
+//! <!-- lint-schema: jsonl-fields -->   index …
+//! ```
+//!
+//! Code side: metric registrations (`.counter("…")`, `.gauge("…")`,
+//! `.histogram("…")`) anywhere under `crates/rt-dse/src/`, the
+//! `CSV_HEADER` and `summary_to_csv` literals in `sink.rs`, and the
+//! `\"field\":` keys of `outcome_to_json`. Additions, removals and renames
+//! on either side fail the gate.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::engine::ScannedFile;
+use crate::rules::{Finding, Rule};
+
+const SINK: &str = "crates/rt-dse/src/sink.rs";
+const METRIC_SCOPE: &str = "crates/rt-dse/src/";
+
+/// Runs the cross-check when the workspace carries the rt-dse schema
+/// surface (fixture roots without it are skipped).
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable file.
+pub fn check(
+    root: &Path,
+    scanned: &[ScannedFile],
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
+    let Some(sink) = scanned.iter().find(|f| f.rel == SINK) else {
+        return Ok(());
+    };
+
+    // ---- code side -------------------------------------------------------
+    let mut metrics: BTreeMap<String, &'static str> = BTreeMap::new();
+    for file in scanned.iter().filter(|f| f.rel.starts_with(METRIC_SCOPE)) {
+        let raw = read(root, &file.rel)?;
+        for (idx, line) in raw.lines().enumerate() {
+            if file.lines.get(idx).is_some_and(|l| l.in_test) {
+                continue;
+            }
+            for (call, kind) in [
+                (".counter(\"", "counter"),
+                (".gauge(\"", "gauge"),
+                (".histogram(\"", "histogram"),
+            ] {
+                let mut from = 0;
+                while let Some(p) = line[from..].find(call) {
+                    let start = from + p + call.len();
+                    let Some(end) = line[start..].find('"') else {
+                        break;
+                    };
+                    let name = line[start..start + end].to_owned();
+                    from = start + end;
+                    if let Some(&prev) = metrics.get(&name) {
+                        if prev != kind {
+                            findings.push(Finding {
+                                rule: Rule::D006,
+                                rel: file.rel.clone(),
+                                line: idx + 1,
+                                message: format!(
+                                    "metric `{name}` registered both as {prev} and as {kind}"
+                                ),
+                            });
+                        }
+                    } else {
+                        metrics.insert(name, kind);
+                    }
+                }
+            }
+        }
+    }
+    let sink_raw = read(root, SINK)?;
+    let csv_columns = extract_literal_after(&sink_raw, "CSV_HEADER")
+        .map(|h| split_columns(&h))
+        .ok_or("sink.rs: could not locate the CSV_HEADER literal")?;
+    let summary_columns = extract_literal_after(&sink_raw, "fn summary_to_csv")
+        .map(|h| split_columns(h.trim_end_matches('\n')))
+        .ok_or("sink.rs: could not locate the summary_to_csv header literal")?;
+    let jsonl_fields = extract_jsonl_fields(&sink_raw, sink);
+
+    // ---- README side -----------------------------------------------------
+    let readme_path = root.join("README.md");
+    let readme = std::fs::read_to_string(&readme_path)
+        .map_err(|e| format!("{}: {e}", readme_path.display()))?;
+    let doc_metrics = marker_block(&readme, "metrics");
+    let doc_csv = marker_block(&readme, "csv-columns");
+    let doc_summary = marker_block(&readme, "summary-columns");
+    let doc_jsonl = marker_block(&readme, "jsonl-fields");
+
+    // ---- cross-check -----------------------------------------------------
+    match doc_metrics {
+        None => findings.push(missing_table("metrics")),
+        Some((line, entries)) => {
+            let documented: BTreeMap<String, String> = entries
+                .iter()
+                .filter_map(|e| {
+                    let (kind, name) = e.split_once(' ')?;
+                    Some((name.trim().to_owned(), kind.trim().to_owned()))
+                })
+                .collect();
+            for (name, kind) in &metrics {
+                match documented.get(name) {
+                    None => findings.push(drift(
+                        line,
+                        format!("metric `{name}` ({kind}) is emitted in code but absent from the README metrics table"),
+                    )),
+                    Some(k) if k != kind => findings.push(drift(
+                        line,
+                        format!("metric `{name}` is a {kind} in code but documented as {k}"),
+                    )),
+                    Some(_) => {}
+                }
+            }
+            for name in documented.keys() {
+                if !metrics.contains_key(name) {
+                    findings.push(drift(
+                        line,
+                        format!("metric `{name}` is documented but no code registers it"),
+                    ));
+                }
+            }
+        }
+    }
+    check_columns(findings, doc_csv, "csv-columns", &csv_columns);
+    check_columns(findings, doc_summary, "summary-columns", &summary_columns);
+    check_columns(findings, doc_jsonl, "jsonl-fields", &jsonl_fields);
+    Ok(())
+}
+
+fn missing_table(table: &str) -> Finding {
+    Finding {
+        rule: Rule::D006,
+        rel: "README.md".to_owned(),
+        line: 1,
+        message: format!("missing `<!-- lint-schema: {table} -->` schema table"),
+    }
+}
+
+/// Ordered column-list comparison: any addition, removal or rename on
+/// either side is drift.
+fn check_columns(
+    findings: &mut Vec<Finding>,
+    doc: Option<(usize, Vec<String>)>,
+    table: &str,
+    code: &[String],
+) {
+    match doc {
+        None => findings.push(missing_table(table)),
+        Some((line, documented)) => {
+            if documented != code {
+                findings.push(drift(
+                    line,
+                    format!(
+                        "{table} drift: code has [{}], README documents [{}]",
+                        code.join(","),
+                        documented.join(",")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn drift(line: usize, message: String) -> Finding {
+    Finding {
+        rule: Rule::D006,
+        rel: "README.md".to_owned(),
+        line,
+        message,
+    }
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, String> {
+    let path = root.join(rel);
+    std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The first fenced code block after `<!-- lint-schema: NAME -->`:
+/// `(marker line number, non-empty block lines)`.
+fn marker_block(readme: &str, name: &str) -> Option<(usize, Vec<String>)> {
+    let marker = format!("<!-- lint-schema: {name} -->");
+    let lines: Vec<&str> = readme.lines().collect();
+    let at = lines.iter().position(|l| l.trim() == marker)?;
+    let open = lines[at + 1..]
+        .iter()
+        .position(|l| l.trim_start().starts_with("```"))?
+        + at
+        + 1;
+    let mut entries = Vec::new();
+    for line in &lines[open + 1..] {
+        if line.trim_start().starts_with("```") {
+            return Some((at + 1, entries));
+        }
+        let entry = line.trim();
+        if !entry.is_empty() {
+            entries.push(entry.to_owned());
+        }
+    }
+    None // unterminated fence
+}
+
+/// Parses the first Rust string literal after the first occurrence of
+/// `anchor`, resolving escapes (`\\`, `\"`, `\n`, `\t`, `\r`, and the
+/// `\`-newline continuation that also eats leading whitespace).
+fn extract_literal_after(source: &str, anchor: &str) -> Option<String> {
+    let at = source.find(anchor)?;
+    let bytes = source.as_bytes();
+    let mut i = at + anchor.len();
+    while i < bytes.len() && bytes[i] != b'"' {
+        i += 1;
+    }
+    i += 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\n') => {
+                        while bytes.get(i + 1).is_some_and(|c| c.is_ascii_whitespace()) {
+                            i += 1;
+                        }
+                    }
+                    _ => return None,
+                }
+                i += 1;
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+fn split_columns(header: &str) -> Vec<String> {
+    header
+        .split(',')
+        .map(|c| c.trim().to_owned())
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+/// JSONL field keys in serialization order: every `\"ident\":` in the
+/// non-test half of sink.rs (the literals carry escaped quotes in source).
+fn extract_jsonl_fields(raw: &str, sink: &ScannedFile) -> Vec<String> {
+    let mut fields = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        if sink.lines.get(idx).is_some_and(|l| l.in_test) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 2 < bytes.len() {
+            if bytes[i] == b'\\' && bytes[i + 1] == b'"' {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                if end > start
+                    && bytes.get(end) == Some(&b'\\')
+                    && bytes.get(end + 1) == Some(&b'"')
+                    && bytes.get(end + 2) == Some(&b':')
+                {
+                    let name = line[start..end].to_owned();
+                    if !fields.contains(&name) {
+                        fields.push(name);
+                    }
+                    i = end + 3;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}

@@ -1,0 +1,375 @@
+//! A line-aware Rust source scanner: no `syn`, no parsing — just enough
+//! lexing to answer the questions the lint rules ask.
+//!
+//! For every physical line the tokenizer produces:
+//!
+//! * `code` — the line's source with comment bodies and string/char literal
+//!   *contents* removed (quotes are kept as `""` / `''` placeholders), so
+//!   rules can pattern-match tokens without false positives from prose or
+//!   data;
+//! * `comment` — the concatenated text of the line's `//` comments, where
+//!   suppression markers (`lint-ok(D00x)`, `relaxed-ok`) live;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item or a
+//!   `mod tests { … }` region, tracked by brace depth.
+//!
+//! The lexer understands nested block comments, string escapes, raw strings
+//! (`r"…"`, `r#"…"#`, byte variants) and the `'x'` char-literal vs `'a`
+//! lifetime ambiguity. It is deliberately line-oriented: rules fire on
+//! single-line token patterns, which is exactly the granularity the
+//! suppression comments work at.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Source text with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Text of the line's `//` comments (empty when there are none).
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` / `mod tests` region.
+    pub in_test: bool,
+}
+
+/// Carry-over lexer state between physical lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a (possibly nested) block comment, at the given depth.
+    Block(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(u8),
+}
+
+/// Scans a whole file into per-line records.
+#[must_use]
+pub fn tokenize(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    // Brace depth of the item tree, and the depths at which test regions
+    // (`#[cfg(test)]` items, `mod tests` bodies) were entered.
+    let mut depth: i64 = 0;
+    let mut test_stack: Vec<i64> = Vec::new();
+    // A test marker was seen and its `{` has not arrived yet.
+    let mut pending_test = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let started_in_test = !test_stack.is_empty() || pending_test;
+        let (code, comment, next_mode) = strip_line(raw, mode);
+        mode = next_mode;
+
+        // Marker detection must interleave with brace tracking in column
+        // order: in `mod tests {` the marker precedes the brace.
+        let bytes = code.as_bytes();
+        let markers = marker_columns(&code);
+        for (col, &b) in bytes.iter().enumerate() {
+            if markers.contains(&col) {
+                pending_test = true;
+            }
+            match b {
+                b'{' => {
+                    if pending_test {
+                        test_stack.push(depth);
+                        pending_test = false;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    while test_stack.last().is_some_and(|&d| depth <= d) {
+                        test_stack.pop();
+                    }
+                }
+                // `#[cfg(test)] use …;` / `mod tests;` — item has no body.
+                b';' => pending_test = false,
+                _ => {}
+            }
+        }
+        let ends_in_test = !test_stack.is_empty() || pending_test;
+
+        out.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            in_test: started_in_test || ends_in_test,
+        });
+    }
+    out
+}
+
+/// Start columns of test-region markers in a stripped code line.
+fn marker_columns(code: &str) -> Vec<usize> {
+    let mut at = Vec::new();
+    for marker in ["#[cfg(test)]", "#[cfg(all(test", "#[test]", "mod tests"] {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(marker) {
+            let col = from + p;
+            from = col + marker.len();
+            // `mod tests` must be a whole token: reject `mod tests_util`.
+            if marker == "mod tests" {
+                let next = code.as_bytes().get(from).copied();
+                if next.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                    continue;
+                }
+            }
+            at.push(col);
+        }
+    }
+    at
+}
+
+/// Strips one physical line given the carry-over `mode`; returns the blanked
+/// code, the line-comment text, and the mode the next line starts in.
+fn strip_line(raw: &str, mut mode: Mode) -> (String, String, Mode) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let b = raw.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match mode {
+            Mode::Block(d) => {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    mode = Mode::Block(d + 1);
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    mode = if d == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(d - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b[i] == b'\\' {
+                    i += 2; // skip the escaped byte (trailing `\` = continuation)
+                } else if b[i] == b'"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b[i] == b'"' {
+                    let h = hashes as usize;
+                    if b.len() - i > h && b[i + 1..i + 1 + h].iter().all(|&c| c == b'#') {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + h;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                match b[i] {
+                    b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                        // Line comment: the rest of the line is comment text.
+                        if !comment.is_empty() {
+                            comment.push(' ');
+                        }
+                        comment.push_str(raw[i + 2..].trim_start_matches('/').trim());
+                        i = b.len();
+                    }
+                    b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    }
+                    b'"' => {
+                        // A raw string if preceded by `r`/`br` + `#`s that we
+                        // already emitted; detect by looking back through the
+                        // emitted code for `r#*` directly before this quote.
+                        let hashes = trailing_raw_prefix(&code);
+                        match hashes {
+                            Some(h) => {
+                                // Drop the `r`/`#`s we emitted; keep plain "".
+                                let cut = code.len() - (h as usize) - raw_marker_len(&code, h);
+                                code.truncate(cut);
+                                code.push('"');
+                                mode = Mode::RawStr(h);
+                            }
+                            None => {
+                                code.push('"');
+                                mode = Mode::Str;
+                            }
+                        }
+                        i += 1;
+                    }
+                    b'\'' => {
+                        // Char literal vs lifetime.
+                        if let Some(end) = char_literal_end(b, i) {
+                            code.push_str("''");
+                            i = end;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        code.push(c as char);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Unterminated normal string at end of line without `\` continuation
+    // cannot happen in valid Rust; if a `\` continuation ended the line we
+    // stay in Mode::Str for the next line, which is correct.
+    (code, comment, mode)
+}
+
+/// If the emitted code ends with a raw-string introducer (`r`, `br`, plus
+/// `#`s), returns the number of `#`s.
+fn trailing_raw_prefix(code: &str) -> Option<u8> {
+    let b = code.as_bytes();
+    let mut i = b.len();
+    let mut hashes = 0u8;
+    while i > 0 && b[i - 1] == b'#' {
+        hashes += 1;
+        i -= 1;
+    }
+    if i == 0 {
+        return None;
+    }
+    let r_at = i - 1;
+    if b[r_at] != b'r' {
+        return None;
+    }
+    // `r` must start the introducer: the byte before is `b` (byte string) or
+    // a non-identifier byte.
+    if r_at > 0 {
+        let prev = b[r_at - 1];
+        let ident = prev.is_ascii_alphanumeric() || prev == b'_';
+        if ident && prev != b'b' {
+            return None;
+        }
+        if prev == b'b' && r_at >= 2 {
+            let pp = b[r_at - 2];
+            if pp.is_ascii_alphanumeric() || pp == b'_' {
+                return None;
+            }
+        }
+    }
+    Some(hashes)
+}
+
+/// Length of the `r` / `br` marker preceding `hashes` `#`s at the end of
+/// `code` (1 or 2).
+fn raw_marker_len(code: &str, hashes: u8) -> usize {
+    let b = code.as_bytes();
+    let r_at = b.len() - (hashes as usize) - 1;
+    if r_at > 0 && b[r_at - 1] == b'b' {
+        2
+    } else {
+        1
+    }
+}
+
+/// If position `i` (a `'`) starts a char literal, returns the index just
+/// past its closing quote; `None` when it is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    if i + 1 >= b.len() {
+        return None;
+    }
+    if b[i + 1] == b'\\' {
+        // Escaped char: scan to the next `'`.
+        let mut j = i + 2;
+        while j < b.len() {
+            if b[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // `'x'` — exactly one char then a closing quote (also covers `'''`? no:
+    // `'\''` is the escaped form, a bare `'''` is invalid Rust).
+    if b[i + 1] != b'\'' && i + 2 < b.len() && b[i + 2] == b'\'' {
+        return Some(i + 3);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let lines = tokenize("let a = 1; // trailing note\n/* gone */ let b = 2;\n");
+        assert_eq!(lines[0].code, "let a = 1; ");
+        assert_eq!(lines[0].comment, "trailing note");
+        assert_eq!(lines[1].code, " let b = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let c = codes("a /* x /* y */ still */ b\n/* open\nstill comment\n*/ after");
+        assert_eq!(c[0], "a  b");
+        assert_eq!(c[1], "");
+        assert_eq!(c[2], "");
+        assert_eq!(c[3], " after");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let c = codes(r#"let s = "HashMap { // not a comment }";"#);
+        assert_eq!(c[0], "let s = \"\";");
+        let c = codes("let r = r#\"raw \"quote\" body\"#;");
+        assert_eq!(c[0], "let r = \"\";");
+        let c = codes(r#"let e = "esc \" still string";"#);
+        assert_eq!(c[0], "let e = \"\";");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = codes("let c = '\\n'; let d: &'static str = x; m.push('{');");
+        assert_eq!(c[0], "let c = ''; let d: &'static str = x; m.push('');");
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let lines = tokenize(src);
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_without_braces() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let lines = tokenize(src);
+        assert!(lines[0].in_test && lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn mod_tests_without_cfg_attribute_counts() {
+        let src = "mod tests {\n    fn t() { x.unwrap(); }\n}\nfn live() {}\n";
+        let lines = tokenize(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[3].in_test);
+    }
+
+    #[test]
+    fn string_continuation_spans_lines() {
+        let src = "let s = \"first,\\\n         second\";\nlet t = 1;\n";
+        let lines = tokenize(src);
+        assert_eq!(lines[0].code, "let s = \"");
+        assert_eq!(lines[1].code, "\";");
+        assert_eq!(lines[2].code, "let t = 1;");
+    }
+}

@@ -1,0 +1,129 @@
+//! Every bad fixture fires exactly its rule, every good fixture (the same
+//! snippet with the suppression mechanism applied) is clean, and the
+//! ratchet rejects an inline suppression the budget does not cover.
+
+use std::path::PathBuf;
+
+use xtask::config::{self, Config};
+use xtask::engine::{self, LintOutcome};
+use xtask::rules::Rule;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str, config: &Config) -> LintOutcome {
+    engine::run(&fixture(name), config).expect("fixture scan failed")
+}
+
+fn assert_fires_only(name: &str, rule: Rule) {
+    let outcome = run(name, &Config::default());
+    assert!(
+        !outcome.findings.is_empty(),
+        "{name}: expected at least one {} finding",
+        rule.id()
+    );
+    for f in &outcome.findings {
+        assert_eq!(
+            f.rule,
+            rule,
+            "{name}: unexpected {} finding at {}:{} — {}",
+            f.rule.id(),
+            f.rel,
+            f.line,
+            f.message
+        );
+    }
+}
+
+fn assert_clean(name: &str) {
+    let outcome = run(name, &Config::default());
+    assert!(
+        outcome.clean(),
+        "{name}: expected clean, got {:#?} / {:?}",
+        outcome.findings,
+        outcome.budget_errors
+    );
+}
+
+#[test]
+fn d001_hashmap_on_an_output_path() {
+    assert_fires_only("d001_bad", Rule::D001);
+    assert_clean("d001_good");
+}
+
+#[test]
+fn d002_wall_clock_outside_the_boundary() {
+    assert_fires_only("d002_bad", Rule::D002);
+    assert_clean("d002_good");
+}
+
+#[test]
+fn d003_relaxed_atomic_without_a_verdict() {
+    assert_fires_only("d003_bad", Rule::D003);
+    assert_clean("d003_good");
+}
+
+#[test]
+fn d004_bare_unwrap_in_library_code() {
+    assert_fires_only("d004_bad", Rule::D004);
+    assert_clean("d004_good");
+}
+
+#[test]
+fn d005_crate_root_without_the_unsafe_ban() {
+    assert_fires_only("d005_bad", Rule::D005);
+    assert_clean("d005_good");
+}
+
+#[test]
+fn d006_mutated_metric_name_is_drift() {
+    assert_fires_only("d006_bad", Rule::D006);
+    assert_clean("d006_good");
+}
+
+#[test]
+fn d006_drift_names_both_sides() {
+    let outcome = run("d006_bad", &Config::default());
+    let messages: Vec<&str> = outcome
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("sweep.scenarios_done") && m.contains("absent from the README")),
+        "missing code-side drift: {messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("sweep.scenarios_dne") && m.contains("no code registers it")),
+        "missing doc-side drift: {messages:?}"
+    );
+}
+
+#[test]
+fn ratchet_pins_the_inline_suppression_count() {
+    // Within budget: the justified unwrap passes.
+    let within = config::parse("[budget]\nD004 = 1\n").unwrap();
+    let outcome = run("ratchet", &within);
+    assert!(outcome.clean(), "{:?}", outcome.budget_errors);
+    assert_eq!(outcome.stats.inline.get("D004"), Some(&1));
+
+    // A budget table that does not cover the marker fails the gate, with
+    // zero rule findings — the ratchet is its own failure class.
+    let over = config::parse("[budget]\nD004 = 0\n").unwrap();
+    let outcome = run("ratchet", &over);
+    assert!(!outcome.clean());
+    assert!(outcome.findings.is_empty());
+    assert_eq!(outcome.budget_errors.len(), 1);
+    assert!(outcome.budget_errors[0].contains("D004"));
+
+    // No budget table at all (fixture corpora): not enforced.
+    let none = Config::default();
+    assert!(run("ratchet", &none).clean());
+}

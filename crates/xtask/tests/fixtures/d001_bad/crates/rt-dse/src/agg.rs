@@ -1,0 +1,6 @@
+//! Fixture: a hash map on an output path.
+use std::collections::HashMap;
+
+pub struct Acc {
+    groups: HashMap<u64, u64>,
+}

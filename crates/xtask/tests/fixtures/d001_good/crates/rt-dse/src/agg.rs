@@ -1,0 +1,8 @@
+//! Fixture: the same map, justified.
+// lint-ok(D001): fixture — keyed point lookups only, never iterated
+use std::collections::HashMap;
+
+pub struct Acc {
+    // lint-ok(D001): fixture — keyed point lookups only, never iterated
+    groups: HashMap<u64, u64>,
+}

@@ -1,0 +1,6 @@
+//! Fixture: a wall-clock read in evaluation code.
+use std::time::Instant;
+
+pub fn run() -> Instant {
+    Instant::now()
+}

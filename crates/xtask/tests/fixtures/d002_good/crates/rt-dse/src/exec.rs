@@ -1,0 +1,7 @@
+//! Fixture: the same read, justified.
+use std::time::Instant;
+
+pub fn run() -> Instant {
+    // lint-ok(D002): fixture — feeds a stderr progress line only
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a relaxed atomic without a verdict.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+//! Fixture: the same atomic, with its verdict.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    // relaxed-ok: fixture — pure statistics, no data handoff rides on it
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+//! Fixture: a bare unwrap in library code.
+
+pub fn parse(x: &str) -> u32 {
+    x.parse().unwrap()
+}

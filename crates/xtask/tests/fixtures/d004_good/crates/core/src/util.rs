@@ -1,0 +1,5 @@
+//! Fixture: the same unwrap, justified.
+
+pub fn parse(x: &str) -> u32 {
+    x.parse().unwrap() // lint-ok(D004): fixture — caller validated the digits
+}

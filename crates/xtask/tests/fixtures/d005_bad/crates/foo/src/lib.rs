@@ -1,0 +1,5 @@
+//! Fixture: a crate root without the unsafe ban.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+//! Fixture: the unsafe ban in place.
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

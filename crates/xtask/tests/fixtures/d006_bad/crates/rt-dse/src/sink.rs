@@ -1,0 +1,11 @@
+//! Fixture: the output-schema surface D006 extracts.
+
+pub const CSV_HEADER: &str = "index,cores,detected\n";
+
+pub fn summary_to_csv() -> String {
+    "cores,acceptance_ratio\n".to_owned()
+}
+
+pub fn outcome_to_json(index: u64, cores: u64) -> String {
+    format!("{{\"index\":{index},\"cores\":{cores},\"detected\":0}}")
+}

@@ -1,0 +1,6 @@
+//! Fixture: metric registrations D006 extracts.
+
+pub fn register(shard: &Shard) {
+    let _ = shard.counter("sweep.scenarios_done");
+    let _ = shard.gauge("drain.reorder_depth");
+}

@@ -1,0 +1,5 @@
+//! Fixture: one budgeted inline suppression.
+
+pub fn parse(x: &str) -> u32 {
+    x.parse().unwrap() // lint-ok(D004): fixture — caller validated the digits
+}

@@ -1,0 +1,23 @@
+//! The self-check: the live workspace, under the checked-in
+//! `crates/xtask/lints.toml`, must be lint-clean — the same invocation CI
+//! gates on.
+
+use std::path::PathBuf;
+
+use xtask::{config, engine};
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cfg = config::load(&root.join("crates/xtask/lints.toml")).expect("lints.toml");
+    let outcome = engine::run(&root, &cfg).expect("lint run");
+    assert!(
+        outcome.clean(),
+        "workspace has lint findings:\n{:#?}\nbudget: {:?}",
+        outcome.findings,
+        outcome.budget_errors
+    );
+}

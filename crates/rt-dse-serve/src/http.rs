@@ -1,0 +1,265 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net` — exactly
+//! what the serve protocol needs and nothing more: one request per
+//! connection (`Connection: close`), `Content-Length` bodies on the way in,
+//! fixed-length or chunked (`Transfer-Encoding: chunked`) bodies on the way
+//! out. Streaming sweeps ride the chunked path: each JSONL line becomes one
+//! chunk frame, so a client can consume results while the sweep runs.
+
+use std::io::{self, Read, Write};
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Cap on the request body (`Content-Length`).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request: method, path, body. Headers beyond `Content-Length`
+/// are read and discarded — the protocol keys on method + path alone.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// The request target path (query strings are not part of the protocol
+    /// and are kept attached).
+    pub path: String,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on malformed framing, oversized heads or
+/// bodies, plus any transport error.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: head sizes here are hundreds of bytes,
+    // and this keeps the reader from consuming body bytes.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(invalid("request head exceeds 64 KiB"));
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-head"));
+        }
+        head.push(byte[0]);
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| invalid("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/1.") {
+        return Err(invalid("malformed request line"));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| invalid("malformed Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(invalid("chunked request bodies are not supported"));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid("request body exceeds 4 MiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// The reason phrase for the handful of status codes the protocol uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a chunked streaming response (the body follows
+/// through a [`ChunkedWriter`]). `extra` headers let the sweep endpoint
+/// hand the client its job id before the stream starts.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_chunked_head(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        reason(status),
+    )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n")?;
+    stream.flush()
+}
+
+/// An `io::Write` adapter that frames every `write` call as one HTTP chunk.
+/// Dropping the writer without [`ChunkedWriter::finish`] leaves the stream
+/// unterminated — which is exactly what a cancelled/failed transfer should
+/// look like to a client (truncation is detectable, silence is not).
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps a transport writer.
+    pub fn new(inner: W) -> Self {
+        ChunkedWriter { inner }
+    }
+
+    /// Writes the terminal zero-length chunk and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0); // an empty chunk would terminate the stream
+        }
+        write!(self.inner, "{:x}\r\n", buf.len())?;
+        self.inner.write_all(buf)?;
+        self.inner.write_all(b"\r\n")?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Decodes a chunked transfer encoding back to the raw body (test helper
+/// for clients; the server never receives chunked bodies).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on malformed chunk framing.
+pub fn dechunk(mut encoded: &[u8]) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = encoded
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| invalid("missing chunk-size line"))?;
+        let size_line = std::str::from_utf8(&encoded[..line_end])
+            .map_err(|_| invalid("chunk size is not UTF-8"))?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| invalid("malformed chunk size"))?;
+        encoded = &encoded[line_end + 2..];
+        if size == 0 {
+            return Ok(body);
+        }
+        if encoded.len() < size + 2 || &encoded[size..size + 2] != b"\r\n" {
+            return Err(invalid("truncated chunk"));
+        }
+        body.extend_from_slice(&encoded[..size]);
+        encoded = &encoded[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_bodies_arrive_whole() {
+        let raw = b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut &raw[..]).expect("well-formed request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweep");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+            &b"GET / SPDY/9\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            assert!(read_request(&mut &raw[..]).is_err());
+        }
+    }
+
+    #[test]
+    fn chunked_writes_round_trip_through_dechunk() {
+        let mut w = ChunkedWriter::new(Vec::new());
+        w.write_all(b"hello ").expect("vec write");
+        w.write_all(b"world").expect("vec write");
+        let encoded = w.finish().expect("finish writes the terminal chunk");
+        assert_eq!(dechunk(&encoded).expect("valid framing"), b"hello world");
+        assert!(encoded.ends_with(b"0\r\n\r\n"));
+    }
+
+    #[test]
+    fn truncated_chunk_streams_are_detected() {
+        let mut w = ChunkedWriter::new(Vec::new());
+        w.write_all(b"partial results").expect("vec write");
+        let unterminated = w.inner; // dropped without finish()
+        assert!(dechunk(&unterminated).is_err());
+    }
+}

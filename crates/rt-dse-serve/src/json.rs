@@ -1,0 +1,400 @@
+//! A minimal hand-rolled JSON reader/writer (the container vendors no
+//! `serde`). The parser covers exactly what the serve protocol needs —
+//! objects, arrays, strings, numbers, booleans, `null` — and keeps every
+//! number's **lexeme** instead of eagerly converting to `f64`, so a 64-bit
+//! seed survives the trip without floating-point rounding.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object member order is preserved (the protocol
+/// rejects duplicate and unknown fields, so ordering never matters for
+/// semantics — keeping it makes error messages predictable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source lexeme (convert via [`Json::as_u64`] /
+    /// [`Json::as_f64`] / [`Json::as_usize`]).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned 64-bit integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(lexeme) => lexeme.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is one.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(lexeme) => lexeme.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(lexeme) => lexeme.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error, with its byte
+/// offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.at));
+    }
+    Ok(value)
+}
+
+/// Renders `s` as a JSON string literal (quotes included).
+#[must_use]
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Nesting depth cap — the protocol never nests deeper than 3; 32 keeps the
+/// recursive-descent parser safe from stack-exhaustion payloads.
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), String> {
+        if self.peek() == Some(expected) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                expected as char, self.at
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.at
+            ));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.at)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.at))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate field \"{key}\""));
+            }
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".to_owned());
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_owned());
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.at += 4;
+                            // Surrogates (paired or lone) are out of protocol
+                            // scope; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.at - 1;
+                    let mut end = self.at;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                    out.push_str(s);
+                    self.at = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        let lexeme =
+            std::str::from_utf8(&self.bytes[start..self.at]).expect("number lexemes are ASCII");
+        if lexeme.parse::<f64>().is_err() {
+            return Err(format!("malformed number `{lexeme}` at byte {start}"));
+        }
+        Ok(Json::Num(lexeme.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_round_trip() {
+        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x\ny"}"#)
+            .expect("valid document");
+        assert_eq!(
+            doc.get("a").and_then(|a| a.as_arr()).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("a")
+                .and_then(|a| a.as_arr())
+                .and_then(|a| a[1].as_f64()),
+            Some(2.5)
+        );
+        assert_eq!(
+            doc.get("b")
+                .and_then(|b| b.get("d"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(doc.get("e").and_then(Json::as_str), Some("x\ny"));
+    }
+
+    #[test]
+    fn big_seeds_survive_without_float_rounding() {
+        let doc = parse(r#"{"seed": 18446744073709551615}"#).expect("valid document");
+        assert_eq!(doc.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} x",
+            "{\"a\": 1, \"a\": 2}",
+            "\"\\q\"",
+            "01e",
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn quoting_escapes_controls() {
+        assert_eq!(quote("a\"b\\c\n\u{1}"), "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+}

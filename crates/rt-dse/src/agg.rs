@@ -262,6 +262,11 @@ impl SweepAccumulator {
 
 /// Groups outcomes by `(cores, allocator, utilization)` and summarises each
 /// group — the buffered convenience wrapper over [`SweepAccumulator`].
+#[deprecated(
+    since = "0.1.0",
+    note = "stream into a `SweepAccumulator` (or read `StreamSummary::partial`) instead of \
+            buffering the whole sweep; this shim will be removed next release"
+)]
 #[must_use]
 pub fn aggregate(outcomes: &[ScenarioOutcome]) -> Vec<AggregateRow> {
     let mut acc = SweepAccumulator::new();
@@ -424,6 +429,11 @@ impl OutcomeSink for PairedSink {
 /// instances — the buffered convenience wrapper over [`PairedSink`].
 ///
 /// With `a = Hydra` and `b = Optimal` this is the Figure 3 series.
+#[deprecated(
+    since = "0.1.0",
+    note = "stream into a `PairedSink` instead of buffering the whole sweep; this shim will \
+            be removed next release"
+)]
 #[must_use]
 pub fn paired_comparison(
     outcomes: &[ScenarioOutcome],
@@ -438,6 +448,7 @@ pub fn paired_comparison(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the buffered shims stay covered until their removal
 mod tests {
     use super::*;
     use crate::exec::Executor;

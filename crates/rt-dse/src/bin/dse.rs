@@ -23,6 +23,7 @@ use std::fs;
 use std::io::{BufWriter, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rt_dse::obs::PHASE_CHECKPOINT;
@@ -93,6 +94,12 @@ identical with or without them):
     hit-rates, peak RSS) is always written next to the other outputs.
 
 SCALE-OUT OPTIONS:
+    --store DIR           back the memo cache with the persistent
+                          content-addressed store under DIR (created on first
+                          use; shared with dse-serve). Repeat sweeps answer
+                          task-set generation, feasibility, partitioning and
+                          allocation work from disk; output bytes are
+                          identical with or without it
     --shard I/N           evaluate the I-th of N contiguous grid shards; files
                           are named {name}_shardIofN.* and only shard 1 writes
                           the CSV header, so concatenating every shard's file
@@ -405,6 +412,15 @@ fn open_resumable(path: &Path, keep: u64) -> Result<fs::File, String> {
             path.display()
         ));
     }
+    if len > keep {
+        // A torn tail is expected after a crash, but it should never vanish
+        // silently — say how much of the file the resume is discarding.
+        eprintln!(
+            "resume: dropping {} uncheckpointed byte(s) past offset {keep} of {}",
+            len - keep,
+            path.display()
+        );
+    }
     file.set_len(keep)
         .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
     file.seek(SeekFrom::End(0))
@@ -461,6 +477,7 @@ fn run_report_json(
     threads: usize,
     elapsed: Duration,
     memo: &MemoStats,
+    store_enabled: bool,
 ) -> String {
     fn entry(hits: u64, misses: u64) -> String {
         let total = hits + misses;
@@ -483,11 +500,16 @@ fn run_report_json(
          \"threads\": {threads},\n  \"elapsed_secs\": {secs:.6},\n  \
          \"scenarios_per_sec\": {throughput},\n  \"memo\": {{\n    \
          \"problem\": {},\n    \"feasibility\": {},\n    \"partition\": {},\n    \
-         \"allocation\": {}\n  }},\n  \"peak_rss_bytes\": {rss}\n}}\n",
+         \"allocation\": {}\n  }},\n  \"store\": {{ \"enabled\": {store_enabled}, \
+         \"hits\": {}, \"misses\": {}, \"write_errors\": {} }},\n  \
+         \"peak_rss_bytes\": {rss}\n}}\n",
         entry(memo.problem_hits, memo.problem_misses),
         entry(memo.feasibility_hits, memo.feasibility_misses),
         entry(memo.partition_hits, memo.partition_misses),
         entry(memo.allocation_hits, memo.allocation_misses),
+        memo.store_hits,
+        memo.store_misses,
+        memo.store_write_errors,
     )
 }
 
@@ -505,19 +527,30 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     } else {
         BatchMode::Batch
     };
-    let executor = if args.flag("--serial") {
-        Executor::serial()
+    let threads = if args.flag("--serial") {
+        1
     } else {
-        Executor::with_threads(args.parsed("--threads")?.unwrap_or(0))
+        args.parsed("--threads")?.unwrap_or(0)
+    };
+    let store = match args.value_of("--store") {
+        Some(dir) => Some(Arc::new(
+            MemoStore::open(dir).map_err(|e| format!("cannot open memo store {dir}: {e}"))?,
+        )),
+        None => None,
+    };
+    let mut session = SweepSession::new(spec.clone())
+        .threads(threads)
+        .batch_mode(batch)
+        .observability(obs.clone());
+    if let Some(store) = &store {
+        session = session.memo_store(Arc::clone(store));
     }
-    .with_batch_mode(batch)
-    .with_observability(obs.clone());
     let shard = args.shard()?;
     let resume = args.flag("--resume");
     let checkpoint_every: usize = args.parsed("--checkpoint-every")?.unwrap_or(256);
     let stop_after: Option<usize> = args.parsed("--stop-after")?;
 
-    let grid_len = ScenarioGrid::expand(&spec).len();
+    let grid_len = session.grid_len();
     let range = shard_range(grid_len, shard.0, shard.1);
     let fingerprint = sweep_fingerprint(&spec, shard);
 
@@ -541,9 +574,11 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         if let Some(ckpt) = &found {
             if ckpt.fingerprint != fingerprint {
                 return Err(format!(
-                    "{} belongs to a different sweep (spec or shard changed); \
+                    "{} belongs to a different sweep (spec or shard changed): \
+                     expected fingerprint {fingerprint:016x}, found {:016x}; \
                      delete it or rerun without --resume",
-                    ckpt_path.display()
+                    ckpt_path.display(),
+                    ckpt.fingerprint
                 ));
             }
             if ckpt.start != range.start || ckpt.completed > range.end {
@@ -628,8 +663,9 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         None => Heartbeat::disabled(),
     };
 
-    let summary = executor
-        .run_streaming_range(&spec, start..end, &mut sink)
+    let summary = session
+        .range(start..end)
+        .run(&mut sink)
         .map_err(|e| format!("sweep aborted: {e}"))?;
     heartbeat.stop();
 
@@ -656,13 +692,28 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         memo.feasibility_misses,
         memo.feasibility_hits
     );
+    if let Some(store) = &store {
+        eprintln!(
+            "store {}: {} disk hits, {} disk misses, {} write errors",
+            store.root().display(),
+            memo.store_hits,
+            memo.store_misses,
+            memo.store_write_errors
+        );
+    }
 
     // Persist the run report (throughput + memo hit-rates) even when the
     // run stops early — the stderr echo above is not the durable record.
     let run_report_path = out_dir.join(format!("{stem}_run.json"));
     fs::write(
         &run_report_path,
-        run_report_json(summary.evaluated(), summary.threads, summary.elapsed, &memo),
+        run_report_json(
+            summary.evaluated(),
+            summary.threads,
+            summary.elapsed,
+            &memo,
+            store.is_some(),
+        ),
     )
     .map_err(|e| format!("could not write {}: {e}", run_report_path.display()))?;
 

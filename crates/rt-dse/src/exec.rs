@@ -41,6 +41,7 @@ use rt_sim::workload::{simulation_tasks_into, SimTask, TaskKind};
 use taskgen::{derive_seed, generate_problem_seeded};
 
 use crate::agg::SweepAccumulator;
+use crate::api::SweepHandle;
 use crate::grid::ScenarioGrid;
 use crate::memo::{hash_taskset, AllocationKey, MemoCache, MemoStats, PartitionKey, ProblemKey};
 use crate::obs::{
@@ -50,6 +51,7 @@ use crate::obs::{
 use crate::scenario::{DetectionStats, Scenario, ScenarioOutcome};
 use crate::sink::{OutcomeSink, VecSink};
 use crate::spec::{AllocatorKind, Evaluation, ScenarioSpec, Workload};
+use crate::store::MemoStore;
 
 /// Salt separating the attack-injection seed stream from the task-set
 /// generation stream at the same scenario address.
@@ -129,6 +131,10 @@ pub struct StreamSummary {
     pub elapsed: Duration,
     /// Number of worker threads used.
     pub threads: usize,
+    /// Whether the run was cut short by [`SweepHandle::cancel`]. A
+    /// cancelled run still finished its sink cleanly; `range` covers
+    /// exactly the outcomes the sink received.
+    pub cancelled: bool,
 }
 
 impl StreamSummary {
@@ -161,6 +167,8 @@ pub struct Executor {
     threads: usize,
     obs: SweepObs,
     batch: BatchMode,
+    store: Option<Arc<MemoStore>>,
+    handle: Option<SweepHandle>,
 }
 
 /// Per-worker reusable evaluation buffers. Each worker thread owns one
@@ -221,6 +229,8 @@ impl Executor {
             threads: 1,
             obs: SweepObs::disabled(),
             batch: BatchMode::Batch,
+            store: None,
+            handle: None,
         }
     }
 
@@ -229,8 +239,7 @@ impl Executor {
     pub fn parallel() -> Self {
         Executor {
             threads: 0,
-            obs: SweepObs::disabled(),
-            batch: BatchMode::Batch,
+            ..Executor::serial()
         }
     }
 
@@ -239,8 +248,7 @@ impl Executor {
     pub fn with_threads(threads: usize) -> Self {
         Executor {
             threads,
-            obs: SweepObs::disabled(),
-            batch: BatchMode::Batch,
+            ..Executor::serial()
         }
     }
 
@@ -263,6 +271,26 @@ impl Executor {
     #[must_use]
     pub fn with_observability(mut self, obs: SweepObs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Backs every run's [`MemoCache`] with a persistent [`MemoStore`]:
+    /// values computed by any past run sharing the store are read instead of
+    /// recomputed, and fresh values are written back. Sweep statistics and
+    /// output bytes are unaffected (see [`MemoCache::backed_by`]).
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<MemoStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a [`SweepHandle`] for cooperative cancellation and progress
+    /// snapshots. The handle is armed per run (one handle should observe one
+    /// run); a cancelled run stops promptly after in-flight scenarios,
+    /// finishes the sink, and reports [`StreamSummary::cancelled`].
+    #[must_use]
+    pub fn with_handle(mut self, handle: SweepHandle) -> Self {
+        self.handle = Some(handle);
         self
     }
 
@@ -333,7 +361,13 @@ impl Executor {
         let threads = self.resolve_threads(slice.len());
         // The memo's hit/miss counters mirror onto the engine track of the
         // registry (inert when observability is off).
-        let memo = MemoCache::with_observability(&self.obs.registry().shard(ENGINE_TRACK));
+        let mut memo = MemoCache::with_observability(&self.obs.registry().shard(ENGINE_TRACK));
+        if let Some(store) = &self.store {
+            memo = memo.backed_by(Arc::clone(store));
+        }
+        if let Some(handle) = &self.handle {
+            handle.arm(slice.len());
+        }
         // lint-ok(D002): elapsed feeds only StreamSummary.elapsed (stderr
         // reporting) — the determinism tests pin that no outcome byte sees it.
         #[allow(clippy::disallowed_methods)]
@@ -344,6 +378,9 @@ impl Executor {
             let mut acc = SweepAccumulator::new();
             let mut scratch = EvalScratch::new();
             for (i, scenario) in slice.iter().enumerate() {
+                if self.handle.as_ref().is_some_and(SweepHandle::is_cancelled) {
+                    break;
+                }
                 // lint-ok(D002): metrics-gated timing feeds the rt-obs
                 // histogram only; obs-on/off byte-identity is pinned in CI.
                 #[allow(clippy::disallowed_methods)]
@@ -364,12 +401,28 @@ impl Executor {
                 let recorded = sink.record(&outcome);
                 drop(span);
                 recorded?;
+                if let Some(handle) = &self.handle {
+                    handle.set_done(i + 1);
+                }
             }
             sink.finish()?;
             wobs.add_sim_stats(scratch.sim.stats());
             acc
         } else {
             self.stream_parallel(spec, slice, threads, &memo, sink)?
+        };
+
+        // A cancelled run delivered a prefix of the range: shrink it so
+        // `evaluated()` keeps meaning "outcomes the sink saw". (The partial
+        // aggregate of a cancelled parallel run may additionally cover
+        // completed-but-undrained outcomes; cancellation is a shutdown path,
+        // not a byte-deterministic one.)
+        let cancelled = self.handle.as_ref().is_some_and(SweepHandle::is_cancelled);
+        let range = if cancelled {
+            let emitted = self.handle.as_ref().map_or(0, |h| h.progress().done);
+            range.start..(range.start + emitted)
+        } else {
+            range
         };
 
         Ok(StreamSummary {
@@ -380,6 +433,7 @@ impl Executor {
             memo: memo.stats(),
             elapsed: started.elapsed(),
             threads,
+            cancelled,
         })
     }
 
@@ -421,6 +475,7 @@ impl Executor {
             let drain = &drain;
             let turnstile = &turnstile;
             let master = &master;
+            let handle = self.handle.as_ref();
             for worker_index in 0..threads {
                 let wobs = self.obs.worker(worker_index);
                 let reorder_depth = reorder_depth.clone();
@@ -428,6 +483,9 @@ impl Executor {
                     let mut local = SweepAccumulator::new();
                     let mut scratch = EvalScratch::new();
                     loop {
+                        if handle.is_some_and(|h| h.is_cancelled()) {
+                            break;
+                        }
                         // relaxed-ok: the fetch_add's RMW atomicity alone
                         // guarantees unique indices; no data rides on this
                         // atomic — outcome handoff synchronizes through the
@@ -439,7 +497,9 @@ impl Executor {
                         // Backpressure: wait until the drain is within one
                         // window of this index. The worker holding the
                         // drain's next index never waits, so progress is
-                        // guaranteed.
+                        // guaranteed. With a cancellable handle the wait is
+                        // periodically re-armed so a cancel delivered while
+                        // every worker sleeps still terminates the pool.
                         {
                             let mut state = drain.lock().expect("drain poisoned");
                             if state.error.is_none() && i >= state.next + window {
@@ -448,7 +508,17 @@ impl Executor {
                                 #[allow(clippy::disallowed_methods)]
                                 let waited = wobs.metrics_enabled().then(Instant::now);
                                 while state.error.is_none() && i >= state.next + window {
-                                    state = turnstile.wait(state).expect("drain poisoned");
+                                    if let Some(h) = handle {
+                                        if h.is_cancelled() {
+                                            break;
+                                        }
+                                        state = turnstile
+                                            .wait_timeout(state, Duration::from_millis(25))
+                                            .expect("drain poisoned")
+                                            .0;
+                                    } else {
+                                        state = turnstile.wait(state).expect("drain poisoned");
+                                    }
                                 }
                                 if let Some(t0) = waited {
                                     wobs.backpressure_waits.inc();
@@ -457,7 +527,7 @@ impl Executor {
                                     );
                                 }
                             }
-                            if state.error.is_some() {
+                            if state.error.is_some() || handle.is_some_and(|h| h.is_cancelled()) {
                                 break;
                             }
                         }
@@ -496,6 +566,9 @@ impl Executor {
                             state.next += 1;
                             advanced = true;
                         }
+                        if let Some(h) = handle {
+                            h.set_done(state.next);
+                        }
                         reorder_depth.set(state.pending.len() as i64);
                         if advanced || state.error.is_some() {
                             drop(state);
@@ -515,8 +588,12 @@ impl Executor {
         if let Some(error) = state.error {
             return Err(error);
         }
-        debug_assert_eq!(state.next, slice.len());
-        debug_assert!(state.pending.is_empty());
+        // A cancelled run legitimately leaves completed-but-undrained
+        // outcomes behind; only a clean finish must have drained everything.
+        if !self.handle.as_ref().is_some_and(SweepHandle::is_cancelled) {
+            debug_assert_eq!(state.next, slice.len());
+            debug_assert!(state.pending.is_empty());
+        }
         state.sink.finish()?;
         Ok(master
             .into_inner()
@@ -654,7 +731,11 @@ fn prefetch_feasibility_batch(
     let Workload::Synthetic(overrides) = &spec.workload else {
         return;
     };
-    if memo.feasibility_present(taskset_hash, scenario.cores) {
+    // The probe also consults the persistent store: a warm store answers
+    // here and the whole batch pass is skipped — per-lane dedup below stays
+    // on the pure in-memory `feasibility_present` so a cold store is not
+    // hammered once per lane.
+    if memo.feasibility_probe(taskset_hash, scenario.cores) {
         return;
     }
     scratch.prefetch.clear();
@@ -1019,6 +1100,7 @@ fn measure_detection(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // `aggregate` stays the buffered reference until removal
 mod tests {
     use super::*;
     use crate::sink::{to_csv, to_jsonl, CsvSink, JsonlSink};

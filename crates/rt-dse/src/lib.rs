@@ -46,10 +46,12 @@
 //! spec.allocators = vec![AllocatorKind::Hydra, AllocatorKind::SingleCore];
 //! spec.trials = 3;
 //!
-//! let result = Executor::parallel().run(&spec);
-//! assert_eq!(result.outcomes.len(), 12);
-//! let summary = aggregate(&result.outcomes);
-//! assert_eq!(summary.len(), 4);
+//! let mut sink = VecSink::new();
+//! let summary = SweepSession::new(spec)
+//!     .run(&mut sink)
+//!     .expect("VecSink never raises I/O errors");
+//! assert_eq!(summary.evaluated(), 12);
+//! assert_eq!(summary.partial.rows().len(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agg;
+pub mod api;
 pub mod checkpoint;
 pub mod exec;
 pub mod grid;
@@ -65,10 +68,13 @@ pub mod obs;
 pub mod scenario;
 pub mod sink;
 pub mod spec;
+pub mod store;
 
+#[allow(deprecated)]
 pub use agg::{
     aggregate, paired_comparison, AggregateRow, PairedPoint, PairedSink, SweepAccumulator,
 };
+pub use api::{Progress, SweepHandle, SweepSession};
 pub use checkpoint::{sweep_fingerprint, Checkpoint};
 pub use exec::{shard_range, Executor, StreamSummary, SweepResult};
 pub use grid::ScenarioGrid;
@@ -85,13 +91,17 @@ pub use spec::{
     AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
     UtilizationGrid, Workload,
 };
+pub use store::MemoStore;
 
 /// Convenience re-exports for sweep definitions.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use crate::agg::{aggregate, paired_comparison, PairedSink, SweepAccumulator};
+    pub use crate::api::{Progress, SweepHandle, SweepSession};
     pub use crate::exec::{shard_range, Executor, StreamSummary, SweepResult};
     pub use crate::grid::ScenarioGrid;
     pub use crate::scenario::{Scenario, ScenarioOutcome};
+    #[allow(deprecated)]
     pub use crate::sink::{
         to_csv, to_jsonl, write_outputs, CsvSink, JsonlSink, NullSink, OutcomeSink, VecSink,
     };
@@ -99,5 +109,6 @@ pub mod prelude {
         AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
         UtilizationGrid, Workload,
     };
+    pub use crate::store::MemoStore;
     pub use rt_core::batch::BatchMode;
 }

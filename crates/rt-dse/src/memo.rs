@@ -64,6 +64,7 @@ use rt_core::{TaskId, TaskSet};
 use rt_partition::{Partition, PartitionConfig};
 
 use crate::spec::AllocatorKind;
+use crate::store::MemoStore;
 
 const SHARDS: usize = 32;
 
@@ -165,6 +166,22 @@ pub struct MemoStats {
     pub allocation_hits: u64,
     /// Allocation-cache misses (the allocator actually ran).
     pub allocation_misses: u64,
+    /// Persistent-store hits, summed over all four families: an in-memory
+    /// miss that was answered from the attached [`MemoStore`] instead of
+    /// recomputed. Always zero without an attached store. The in-memory
+    /// family counters above deliberately do **not** distinguish warm from
+    /// cold stores — a store hit still books the family miss the
+    /// computation would have booked, keeping them byte-identical across
+    /// store states.
+    pub store_hits: u64,
+    /// Persistent-store misses (all four families): the key was absent —
+    /// or its entry corrupt — so the value was computed and written back.
+    /// A fully warm store completes a repeat sweep with zero misses.
+    pub store_misses: u64,
+    /// Failed persistent-store writes (all four families). Write failures
+    /// are tolerated — the sweep's results are unaffected; the entry is
+    /// simply recomputed by whoever needs it next.
+    pub store_write_errors: u64,
 }
 
 /// A cached partitioning result: the partition, or the task that could not
@@ -194,6 +211,9 @@ struct MemoObsCounters {
     partition_misses: rt_obs::Counter,
     allocation_hits: rt_obs::Counter,
     allocation_misses: rt_obs::Counter,
+    store_hits: rt_obs::Counter,
+    store_misses: rt_obs::Counter,
+    store_write_errors: rt_obs::Counter,
 }
 
 /// The shared memoization cache of one sweep execution.
@@ -205,8 +225,19 @@ struct MemoObsCounters {
 /// and clears the flag. Counters are therefore identical whether batching
 /// is on or off — the property the engine's pinned memo-count tests rely
 /// on.
+///
+/// # Persistent backing
+///
+/// A cache built with [`MemoCache::backed_by`] consults a shared on-disk
+/// [`MemoStore`] on every in-memory miss before computing, and writes every
+/// freshly computed value back. Store traffic is booked on the three
+/// `store_*` counters only; the per-family counters keep their in-memory
+/// meaning (a store hit still books the family miss), so sweep statistics
+/// — and output bytes — are identical whether the store is cold, warm or
+/// absent.
 #[derive(Debug, Default)]
 pub struct MemoCache {
+    store: Option<Arc<MemoStore>>,
     problems: Vec<FreshShard<ProblemKey, Arc<AllocationProblem>>>,
     feasibility: Vec<FreshShard<(u64, usize), bool>>,
     partitions: Vec<Mutex<HashMap<PartitionKey, SharedPartition>>>,
@@ -219,6 +250,9 @@ pub struct MemoCache {
     partition_misses: AtomicU64,
     allocation_hits: AtomicU64,
     allocation_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_write_errors: AtomicU64,
     obs: MemoObsCounters,
 }
 
@@ -227,6 +261,7 @@ impl MemoCache {
     #[must_use]
     pub fn new() -> Self {
         MemoCache {
+            store: None,
             problems: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             feasibility: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             partitions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -239,6 +274,9 @@ impl MemoCache {
             partition_misses: AtomicU64::new(0),
             allocation_hits: AtomicU64::new(0),
             allocation_misses: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_write_errors: AtomicU64::new(0),
             obs: MemoObsCounters::default(),
         }
     }
@@ -258,8 +296,43 @@ impl MemoCache {
                 partition_misses: shard.counter("memo.partition_misses"),
                 allocation_hits: shard.counter("memo.allocation_hits"),
                 allocation_misses: shard.counter("memo.allocation_misses"),
+                store_hits: shard.counter("memo.store_hits"),
+                store_misses: shard.counter("memo.store_misses"),
+                store_write_errors: shard.counter("memo.store_write_errors"),
             },
             ..MemoCache::new()
+        }
+    }
+
+    /// Attaches a persistent [`MemoStore`]: every in-memory miss consults
+    /// the store before computing, every freshly computed value is written
+    /// back, and store traffic is booked on the `store_*` counters. The
+    /// per-family hit/miss counters are unaffected (see the type docs), so
+    /// attaching a store never changes sweep statistics or output bytes.
+    #[must_use]
+    pub fn backed_by(mut self, store: Arc<MemoStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Books one persistent-store hit.
+    fn book_store_hit(&self) {
+        bump(&self.store_hits);
+        self.obs.store_hits.inc();
+    }
+
+    /// Books one persistent-store miss.
+    fn book_store_miss(&self) {
+        bump(&self.store_misses);
+        self.obs.store_misses.inc();
+    }
+
+    /// Books a persistent-store write outcome (failures count, successes
+    /// are free).
+    fn book_store_write(&self, result: std::io::Result<()>) {
+        if result.is_err() {
+            bump(&self.store_write_errors);
+            self.obs.store_write_errors.inc();
         }
     }
 
@@ -294,7 +367,18 @@ impl MemoCache {
         }
         bump(&self.problem_misses);
         self.obs.problem_misses.inc();
+        if let Some(found) = self.store.as_deref().and_then(|s| s.get_problem(&key)) {
+            self.book_store_hit();
+            let mut guard = shard.lock().expect("memo shard poisoned");
+            return Arc::clone(&guard.entry(key).or_insert((Arc::new(found), false)).0);
+        }
+        if self.store.is_some() {
+            self.book_store_miss();
+        }
         let generated = Arc::new(generate());
+        if let Some(store) = self.store.as_deref() {
+            self.book_store_write(store.put_problem(&key, &generated));
+        }
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(&guard.entry(key).or_insert((generated, false)).0)
     }
@@ -320,7 +404,18 @@ impl MemoCache {
         if let Some((found, _)) = shard.lock().expect("memo shard poisoned").get(&key) {
             return Arc::clone(found);
         }
+        if let Some(found) = self.store.as_deref().and_then(|s| s.get_problem(&key)) {
+            self.book_store_hit();
+            let mut guard = shard.lock().expect("memo shard poisoned");
+            return Arc::clone(&guard.entry(key).or_insert((Arc::new(found), true)).0);
+        }
+        if self.store.is_some() {
+            self.book_store_miss();
+        }
         let generated = Arc::new(generate());
+        if let Some(store) = self.store.as_deref() {
+            self.book_store_write(store.put_problem(&key, &generated));
+        }
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(&guard.entry(key).or_insert((generated, true)).0)
     }
@@ -353,7 +448,22 @@ impl MemoCache {
         }
         bump(&self.feasibility_misses);
         self.obs.feasibility_misses.inc();
+        if let Some(store) = self.store.as_deref() {
+            if let Some(verdict) = store.get_feasibility(taskset_hash, cores) {
+                self.book_store_hit();
+                shard
+                    .lock()
+                    .expect("memo shard poisoned")
+                    .entry((taskset_hash, cores))
+                    .or_insert((verdict, false));
+                return verdict;
+            }
+            self.book_store_miss();
+        }
         let verdict = check();
+        if let Some(store) = self.store.as_deref() {
+            self.book_store_write(store.put_feasibility(taskset_hash, cores, verdict));
+        }
         shard
             .lock()
             .expect("memo shard poisoned")
@@ -381,17 +491,62 @@ impl MemoCache {
             .contains_key(&(taskset_hash, cores))
     }
 
+    /// Extends [`MemoCache::feasibility_present`] to the persistent store:
+    /// a store hit is pulled into memory (marked *fresh*, so the first
+    /// counted access books the miss the scalar path would have booked) and
+    /// reported as present. Like `feasibility_present`, the per-family
+    /// counters are untouched; only the `store_*` counters move. The
+    /// lookahead path uses this once per scenario to skip batch work a warm
+    /// store has already paid for, while per-lane dedup sticks to the pure
+    /// in-memory probe.
+    #[must_use]
+    pub fn feasibility_probe(&self, taskset_hash: u64, cores: usize) -> bool {
+        if self.feasibility_present(taskset_hash, cores) {
+            return true;
+        }
+        let Some(store) = self.store.as_deref() else {
+            return false;
+        };
+        if let Some(verdict) = store.get_feasibility(taskset_hash, cores) {
+            self.book_store_hit();
+            self.feasibility_shard(taskset_hash, cores)
+                .lock()
+                .expect("memo shard poisoned")
+                .entry((taskset_hash, cores))
+                .or_insert((verdict, true));
+            true
+        } else {
+            self.book_store_miss();
+            false
+        }
+    }
+
     /// Uncounted lookahead insert of a batch-computed Eq. (1) verdict,
     /// marked *fresh*: the first counted [`MemoCache::feasibility`] access
     /// books the miss the scalar path would have booked. An already-present
     /// entry is left untouched (the racing value is identical — the kernel
-    /// is deterministic).
+    /// is deterministic). A newly inserted verdict is written through to the
+    /// attached store, if any — the batched path never reaches the scalar
+    /// write-back in [`MemoCache::feasibility`].
     pub fn prefetch_feasibility(&self, taskset_hash: u64, cores: usize, verdict: bool) {
-        self.feasibility_shard(taskset_hash, cores)
-            .lock()
-            .expect("memo shard poisoned")
-            .entry((taskset_hash, cores))
-            .or_insert((verdict, true));
+        let inserted = {
+            let mut guard = self
+                .feasibility_shard(taskset_hash, cores)
+                .lock()
+                .expect("memo shard poisoned");
+            match guard.entry((taskset_hash, cores)) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert((verdict, true));
+                    true
+                }
+            }
+        };
+        if inserted {
+            if let Some(store) = self.store.as_deref() {
+                self.book_store_write(store.put_feasibility(taskset_hash, cores, verdict));
+            }
+        }
     }
 
     /// Returns the cached real-time partition for `key`, computing it with
@@ -416,7 +571,18 @@ impl MemoCache {
         }
         bump(&self.partition_misses);
         self.obs.partition_misses.inc();
+        if let Some(found) = self.store.as_deref().and_then(|s| s.get_partition(&key)) {
+            self.book_store_hit();
+            let mut guard = shard.lock().expect("memo shard poisoned");
+            return Arc::clone(guard.entry(key).or_insert(Arc::new(found)));
+        }
+        if self.store.is_some() {
+            self.book_store_miss();
+        }
         let built = Arc::new(build());
+        if let Some(store) = self.store.as_deref() {
+            self.book_store_write(store.put_partition(&key, &built));
+        }
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(guard.entry(key).or_insert(built))
     }
@@ -445,7 +611,18 @@ impl MemoCache {
         }
         bump(&self.allocation_misses);
         self.obs.allocation_misses.inc();
+        if let Some(found) = self.store.as_deref().and_then(|s| s.get_allocation(&key)) {
+            self.book_store_hit();
+            let mut guard = shard.lock().expect("memo shard poisoned");
+            return Arc::clone(guard.entry(key).or_insert(Arc::new(found)));
+        }
+        if self.store.is_some() {
+            self.book_store_miss();
+        }
         let built = Arc::new(build());
+        if let Some(store) = self.store.as_deref() {
+            self.book_store_write(store.put_allocation(&key, &built));
+        }
         let mut guard = shard.lock().expect("memo shard poisoned");
         Arc::clone(guard.entry(key).or_insert(built))
     }
@@ -462,6 +639,9 @@ impl MemoCache {
             partition_misses: read(&self.partition_misses),
             allocation_hits: read(&self.allocation_hits),
             allocation_misses: read(&self.allocation_misses),
+            store_hits: read(&self.store_hits),
+            store_misses: read(&self.store_misses),
+            store_write_errors: read(&self.store_write_errors),
         }
     }
 }
@@ -680,6 +860,123 @@ mod tests {
         let _ = cache.partition(single, || Ok(Partition::new(6, 3)));
         assert_eq!(cache.stats().partition_misses, 2);
         assert_eq!(cache.stats().partition_hits, 3);
+    }
+
+    fn store_in(tag: &str) -> (Arc<MemoStore>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("rt-dse-memo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = MemoStore::open(&dir)
+            .expect("temp store opens")
+            .with_fsync(false);
+        (Arc::new(store), dir)
+    }
+
+    #[test]
+    fn store_backed_cache_answers_repeat_misses_from_disk() {
+        let (store, dir) = store_in("repeat");
+        // Cold cache: everything misses the store, computes, writes back.
+        let cold = MemoCache::new().backed_by(Arc::clone(&store));
+        let mut generated = 0;
+        let _ = cold.problem(key(1), || {
+            generated += 1;
+            uav_problem()
+        });
+        assert!(cold.feasibility(77, 2, || true));
+        let stats = cold.stats();
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_misses, 2);
+        assert_eq!(stats.store_write_errors, 0);
+        // Warm cache (fresh in-memory state, same disk): the family counters
+        // book the same misses a cold run would, but nothing is recomputed.
+        let warm = MemoCache::new().backed_by(store);
+        let _ = warm.problem(key(1), || {
+            generated += 1;
+            uav_problem()
+        });
+        assert!(warm.feasibility(77, 2, || panic!("verdict is on disk")));
+        assert_eq!(generated, 1);
+        let stats = warm.stats();
+        assert_eq!(stats.problem_misses, 1);
+        assert_eq!(stats.feasibility_misses, 1);
+        assert_eq!(stats.store_hits, 2);
+        assert_eq!(stats.store_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_backed_partitions_and_allocations_round_trip() {
+        let (store, dir) = store_in("pa");
+        let pkey = PartitionKey {
+            taskset_hash: 42,
+            cores: 2,
+            config: PartitionConfig::paper_default(),
+        };
+        let akey = AllocationKey {
+            problem: key(1),
+            allocator: AllocatorKind::Hydra,
+        };
+        let cold = MemoCache::new().backed_by(Arc::clone(&store));
+        let _ = cold.partition(pkey, || Err(TaskId(3)));
+        let _ = cold.allocation(akey, || {
+            Err(AllocationError::InsufficientCores {
+                available: 1,
+                required: 2,
+            })
+        });
+        let warm = MemoCache::new().backed_by(store);
+        let p = warm.partition(pkey, || panic!("partition is on disk"));
+        assert_eq!(*p, Err(TaskId(3)));
+        let a = warm.allocation(akey, || panic!("allocation is on disk"));
+        assert!(a.is_err());
+        let stats = warm.stats();
+        assert_eq!(stats.partition_misses, 1);
+        assert_eq!(stats.allocation_misses, 1);
+        assert_eq!(stats.store_hits, 2);
+        assert_eq!(stats.store_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn feasibility_probe_reaches_the_store_and_defers_the_family_miss() {
+        let (store, dir) = store_in("probe");
+        store.put_feasibility(7, 2, true).expect("seed the store");
+        let cache = MemoCache::new().backed_by(store);
+        // A probe miss books a store miss and computes nothing.
+        assert!(!cache.feasibility_probe(9, 2));
+        assert_eq!(cache.stats().store_misses, 1);
+        // A probe hit pulls the verdict into memory, marked fresh…
+        assert!(cache.feasibility_probe(7, 2));
+        assert!(cache.feasibility_present(7, 2));
+        assert_eq!(cache.stats().store_hits, 1);
+        assert_eq!(cache.stats().feasibility_misses, 0);
+        // …and the first counted access books the deferred family miss.
+        assert!(cache.feasibility(7, 2, || panic!("verdict was probed in")));
+        assert_eq!(cache.stats().feasibility_misses, 1);
+        // A second probe is a pure in-memory answer: no new store traffic.
+        assert!(cache.feasibility_probe(7, 2));
+        assert_eq!(cache.stats().store_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefetched_feasibility_writes_through_to_the_store() {
+        let (store, dir) = store_in("prefetch");
+        {
+            let cache = MemoCache::new().backed_by(Arc::clone(&store));
+            cache.prefetch_feasibility(11, 4, false);
+        }
+        assert_eq!(store.get_feasibility(11, 4), Some(false));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storeless_probe_is_plain_presence() {
+        let cache = MemoCache::new();
+        assert!(!cache.feasibility_probe(1, 2));
+        cache.prefetch_feasibility(1, 2, true);
+        assert!(cache.feasibility_probe(1, 2));
+        assert_eq!(cache.stats().store_hits, 0);
+        assert_eq!(cache.stats().store_misses, 0);
     }
 
     #[test]

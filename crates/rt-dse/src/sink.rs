@@ -300,6 +300,12 @@ impl VecSink {
     pub fn into_outcomes(self) -> Vec<ScenarioOutcome> {
         self.outcomes
     }
+
+    /// Borrows the buffered outcomes, in grid order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[ScenarioOutcome] {
+        &self.outcomes
+    }
 }
 
 impl OutcomeSink for VecSink {
@@ -431,6 +437,11 @@ pub struct WrittenFiles {
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing a file.
+#[deprecated(
+    since = "0.1.0",
+    note = "stream through `JsonlSink`/`CsvSink` (as the `dse` CLI does) instead of \
+            buffering the whole sweep; this shim will be removed next release"
+)]
 pub fn write_outputs(
     dir: impl AsRef<Path>,
     name: &str,
@@ -455,6 +466,7 @@ pub fn write_outputs(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the buffered shims stay covered until their removal
 mod tests {
     use super::*;
     use crate::agg::aggregate;

@@ -26,6 +26,8 @@ use crate::rules::{Finding, Rule};
 
 const SINK: &str = "crates/rt-dse/src/sink.rs";
 const METRIC_SCOPE: &str = "crates/rt-dse/src/";
+const SERVE_SCOPE: &str = "crates/rt-dse-serve/src/";
+const SERVE_PROTO: &str = "crates/rt-dse-serve/src/proto.rs";
 
 /// Runs the cross-check when the workspace carries the rt-dse schema
 /// surface (fixture roots without it are skipped).
@@ -44,7 +46,10 @@ pub fn check(
 
     // ---- code side -------------------------------------------------------
     let mut metrics: BTreeMap<String, &'static str> = BTreeMap::new();
-    for file in scanned.iter().filter(|f| f.rel.starts_with(METRIC_SCOPE)) {
+    for file in scanned
+        .iter()
+        .filter(|f| f.rel.starts_with(METRIC_SCOPE) || f.rel.starts_with(SERVE_SCOPE))
+    {
         let raw = read(root, &file.rel)?;
         for (idx, line) in raw.lines().enumerate() {
             if file.lines.get(idx).is_some_and(|l| l.in_test) {
@@ -136,6 +141,30 @@ pub fn check(
     check_columns(findings, doc_csv, "csv-columns", &csv_columns);
     check_columns(findings, doc_summary, "summary-columns", &summary_columns);
     check_columns(findings, doc_jsonl, "jsonl-fields", &jsonl_fields);
+
+    // ---- serve wire protocol ---------------------------------------------
+    // When the workspace carries rt-dse-serve, its REQUEST_FIELDS and
+    // STATUS_FIELDS constants are the wire contract; the README documents
+    // them one field per line under `serve-request-fields` /
+    // `serve-status-fields` markers.
+    if scanned.iter().any(|f| f.rel == SERVE_PROTO) {
+        let proto_raw = read(root, SERVE_PROTO)?;
+        let request_fields = extract_literal_after(&proto_raw, "pub const REQUEST_FIELDS")
+            .map(|h| split_columns(&h))
+            .ok_or("proto.rs: could not locate the REQUEST_FIELDS literal")?;
+        let status_fields = extract_literal_after(&proto_raw, "pub const STATUS_FIELDS")
+            .map(|h| split_columns(&h))
+            .ok_or("proto.rs: could not locate the STATUS_FIELDS literal")?;
+        let doc_request = marker_block(&readme, "serve-request-fields");
+        let doc_status = marker_block(&readme, "serve-status-fields");
+        check_columns(
+            findings,
+            doc_request,
+            "serve-request-fields",
+            &request_fields,
+        );
+        check_columns(findings, doc_status, "serve-status-fields", &status_fields);
+    }
     Ok(())
 }
 

@@ -107,6 +107,30 @@ fn d006_drift_names_both_sides() {
 }
 
 #[test]
+fn d006_serve_status_fields_drift_is_caught() {
+    let outcome = run("d006_bad", &Config::default());
+    let messages: Vec<&str> = outcome
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("serve-status-fields drift")
+                && m.contains("id,state,done")
+                && m.contains("id,status,done")),
+        "missing serve drift: {messages:?}"
+    );
+    assert!(
+        !messages
+            .iter()
+            .any(|m| m.contains("serve-request-fields drift")),
+        "the in-sync request table must not fire: {messages:?}"
+    );
+}
+
+#[test]
 fn ratchet_pins_the_inline_suppression_count() {
     // Within budget: the justified unwrap passes.
     let within = config::parse("[budget]\nD004 = 1\n").unwrap();

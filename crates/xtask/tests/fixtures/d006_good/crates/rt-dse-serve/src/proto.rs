@@ -1,0 +1,6 @@
+//! Fixture: the serve wire-protocol surface D006 extracts.
+
+pub const REQUEST_FIELDS: &str = "name, cores, trials";
+
+pub const STATUS_FIELDS: &str = "id, state, \
+                                 done";

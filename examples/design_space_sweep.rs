@@ -39,13 +39,16 @@ fn main() {
         expansion: Expansion::Cartesian,
     };
 
-    let result = Executor::parallel().run(&spec);
-    let rows = aggregate(&result.outcomes);
-    let gaps = paired_comparison(
-        &result.outcomes,
-        AllocatorKind::Hydra,
-        AllocatorKind::Optimal,
-    );
+    // Stream the sweep through the embeddable session API: the paired
+    // Figure 3 join consumes outcomes online, and the per-group aggregate
+    // rows come from the summary's merged partials — no buffered outcome
+    // vector anywhere.
+    let mut paired = PairedSink::new(AllocatorKind::Hydra, AllocatorKind::Optimal);
+    let summary = SweepSession::new(spec)
+        .run(&mut paired)
+        .expect("an in-memory sink never raises I/O errors");
+    let rows = summary.partial.rows();
+    let gaps = paired.into_points();
 
     let row = |utilization: Option<f64>, kind: AllocatorKind| {
         rows.iter()
@@ -70,15 +73,15 @@ fn main() {
         "Evaluated {} scenarios in {:.2?} ({}/s) on {} thread(s); the engine \
          generated {} task sets and reused each across all three schemes ({} cache hits, \
          {} partitions reused).",
-        result.outcomes.len(),
-        result.elapsed,
-        result
+        summary.evaluated(),
+        summary.elapsed,
+        summary
             .scenarios_per_sec()
             .map_or_else(|| "-".to_owned(), |r| format!("{r:.0}")),
-        result.threads,
-        result.memo.problem_misses,
-        result.memo.problem_hits,
-        result.memo.partition_hits,
+        summary.threads,
+        summary.memo.problem_misses,
+        summary.memo.problem_hits,
+        summary.memo.partition_hits,
     );
     println!();
     println!(

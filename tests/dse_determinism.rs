@@ -10,6 +10,10 @@
 //!   concatenate to the **byte-identical** single-process stream at any
 //!   thread count.
 
+// The buffered `aggregate` shim is deprecated but stays the reference these
+// properties compare the streaming accumulators against until its removal.
+#![allow(deprecated)]
+
 use hydra_repro::dse::sink::summary_to_csv;
 use hydra_repro::dse::{prelude::*, TeeSink};
 use proptest::prelude::*;

@@ -81,6 +81,7 @@ impl Fig1Config {
             trials: 1,
             base_seed: self.seed,
             expansion: Expansion::Cartesian,
+            explore: ExploreMode::Exhaustive,
         }
     }
 }

@@ -70,6 +70,7 @@ impl Fig2Config {
             trials: self.trials,
             base_seed: self.seed,
             expansion: Expansion::Cartesian,
+            explore: ExploreMode::Exhaustive,
         }
     }
 }

@@ -72,6 +72,7 @@ impl PeriodPolicyConfig {
             trials: self.trials,
             base_seed: self.seed,
             expansion: Expansion::Cartesian,
+            explore: ExploreMode::Exhaustive,
         }
     }
 }

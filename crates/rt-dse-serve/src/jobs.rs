@@ -359,7 +359,19 @@ impl JobPool {
             status.started = Some(started);
         }
         let mut sink = JsonlSink::new(ChunkedWriter::new(BufWriter::new(stream)));
-        let result = session.run(&mut sink);
+        // Frontier jobs run the adaptive driver: Phase A probes locate each
+        // slice's acceptance cliff without emitting anything, then the
+        // planned refinement stream arrives on the same JSONL transport —
+        // byte-identical to a CLI frontier run of the same spec. The job's
+        // handle was registered at submit time and FrontierRunner carries it
+        // forward, so cancel keeps working in both phases.
+        let explore = session.spec().explore;
+        let result = match explore {
+            ExploreMode::Frontier(_) => FrontierRunner::new(session)
+                .explore(&mut sink)
+                .map(|(_, summary)| summary),
+            ExploreMode::Exhaustive => session.run(&mut sink),
+        };
         let mut status = record.status.lock().expect("job status poisoned");
         status.elapsed = status.started.map(|t| t.elapsed());
         match result {

@@ -17,7 +17,7 @@ use crate::json::Json;
 /// request-schema table is machine-checked against this list (xtask D006).
 pub const REQUEST_FIELDS: &str = "name, workload, eval, horizon, attacks, cores, util_steps, \
                                   utils, allocators, period_policies, trials, seed, sec_tasks, \
-                                  sample, batch";
+                                  sample, batch, explore, refine_budget";
 
 /// Every job-status field, in render order. The README status-schema table
 /// and the `status_json` render order are both machine-checked against this
@@ -190,6 +190,22 @@ pub fn parse_request(doc: &Json) -> Result<SweepRequest, String> {
         return Err("\"cores\" requires one or more core counts >= 1".to_owned());
     }
 
+    let refine_budget = want_usize(get("refine_budget"), "refine_budget")?;
+    let explore = match want_str(get("explore"), "explore")?.unwrap_or("exhaustive") {
+        "exhaustive" => {
+            if refine_budget.is_some() {
+                return Err(
+                    "\"refine_budget\" only applies to the frontier explore mode".to_owned(),
+                );
+            }
+            ExploreMode::Exhaustive
+        }
+        "frontier" => ExploreMode::Frontier(FrontierConfig {
+            refine_budget: refine_budget.unwrap_or(FrontierConfig::default().refine_budget),
+        }),
+        other => return Err(format!("unknown explore mode: {other}")),
+    };
+
     let batch = match get("batch") {
         Json::Null => BatchMode::Batch,
         v => {
@@ -215,6 +231,7 @@ pub fn parse_request(doc: &Json) -> Result<SweepRequest, String> {
             trials: want_usize(get("trials"), "trials")?.unwrap_or(5),
             base_seed: want_u64(get("seed"), "seed")?.unwrap_or(2018),
             expansion,
+            explore,
         },
         batch,
     })
@@ -246,6 +263,26 @@ mod tests {
             UtilizationGrid::NormalizedSteps(13)
         ));
         assert!(matches!(req.batch, BatchMode::Batch));
+        assert_eq!(req.spec.explore, ExploreMode::Exhaustive);
+    }
+
+    #[test]
+    fn frontier_requests_parse_the_adaptive_fields() {
+        let req = parse_request(
+            &json::parse(r#"{"explore": "frontier", "refine_budget": 12}"#).expect("valid json"),
+        )
+        .expect("valid request");
+        assert_eq!(
+            req.spec.explore,
+            ExploreMode::Frontier(FrontierConfig { refine_budget: 12 })
+        );
+        // The budget defaults like the CLI's when omitted.
+        let req = parse_request(&json::parse(r#"{"explore": "frontier"}"#).expect("valid json"))
+            .expect("valid request");
+        assert_eq!(
+            req.spec.explore,
+            ExploreMode::Frontier(FrontierConfig::default())
+        );
     }
 
     #[test]
@@ -277,6 +314,11 @@ mod tests {
             (r#"{"sec_tasks": [5, 2]}"#, "empty or zero"),
             (r#"{"trials": "many"}"#, "unsigned integer"),
             (r#"{"workload": "quantum"}"#, "unknown workload"),
+            (r#"{"explore": "random"}"#, "unknown explore mode"),
+            (
+                r#"{"refine_budget": 4}"#,
+                "only applies to the frontier explore mode",
+            ),
             (r#"[1]"#, "must be a JSON object"),
         ] {
             let doc = json::parse(body).expect("valid json");
@@ -309,6 +351,8 @@ mod tests {
             "sec_tasks",
             "sample",
             "batch",
+            "explore",
+            "refine_budget",
         ] {
             assert!(
                 REQUEST_FIELDS.split(',').any(|f| f.trim() == key),

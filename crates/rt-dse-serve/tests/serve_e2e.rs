@@ -109,11 +109,21 @@ fn engine_reference_jsonl(request_body: &str) -> Vec<u8> {
     let doc = json::parse(request_body).expect("request body is valid JSON");
     let request = proto::parse_request(&doc).expect("request is valid");
     let mut sink = JsonlSink::new(Vec::new());
-    SweepSession::new(request.spec)
+    let session = SweepSession::new(request.spec)
         .threads(1)
-        .batch_mode(request.batch)
-        .run(&mut sink)
-        .expect("in-memory sink is infallible");
+        .batch_mode(request.batch);
+    match session.spec().explore {
+        ExploreMode::Frontier(_) => {
+            FrontierRunner::new(session)
+                .explore(&mut sink)
+                .expect("in-memory sink is infallible");
+        }
+        ExploreMode::Exhaustive => {
+            session
+                .run(&mut sink)
+                .expect("in-memory sink is infallible");
+        }
+    }
     sink.into_inner()
 }
 
@@ -206,6 +216,45 @@ fn streamed_jsonl_is_byte_identical_to_the_embedded_engine() {
     assert!(jobs
         .iter()
         .any(|j| j.get("id").and_then(json::Json::as_u64) == Some(id)));
+}
+
+const FRONTIER_SWEEP: &str = r#"{"name": "fr", "cores": [2], "trials": 2, "seed": 77,
+    "utils": [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5,
+              0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0],
+    "allocators": ["hydra", "singlecore"],
+    "explore": "frontier", "refine_budget": 4}"#;
+
+#[test]
+fn frontier_jobs_stream_the_adaptive_plan_byte_identically() {
+    let (addr, _server) = start_server(2, None);
+    let mut stream = send_request(addr, "POST", "/v1/sweep", FRONTIER_SWEEP);
+    let (status, headers) = read_head(&mut stream);
+    assert_eq!(status, 200);
+    let id: u64 = header(&headers, "x-job-id")
+        .and_then(|v| v.parse().ok())
+        .expect("X-Job-Id header names the job");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("stream drains");
+    let streamed = http::dechunk(&raw).expect("terminated cleanly");
+    assert_eq!(
+        streamed,
+        engine_reference_jsonl(FRONTIER_SWEEP),
+        "frontier wire bytes must match the embedded adaptive driver exactly"
+    );
+
+    // The plan must genuinely prune the grid: fewer emitted records than
+    // the exhaustive 20 utils x 2 allocators x 2 trials, but not zero.
+    let lines = streamed.iter().filter(|b| **b == b'\n').count();
+    assert!(lines > 0, "a frontier job still emits its refined points");
+    assert!(
+        lines < 20 * 2 * 2,
+        "adaptive emission ({lines} records) must undercut the exhaustive grid"
+    );
+
+    let (status, body) = exchange(addr, "GET", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200);
+    let doc = json_of(&body);
+    assert_eq!(doc.get("state").and_then(json::Json::as_str), Some("done"));
 }
 
 #[test]

@@ -58,6 +58,9 @@ pub struct AggregateRow {
     pub p50_tightness: f64,
     /// 99th-percentile cumulative tightness over the scheduled scenarios.
     pub p99_tightness: f64,
+    /// Mean achieved-vs-desired monitoring-frequency ratio over the
+    /// scheduled scenarios that reported one (`0` when none did).
+    pub mean_freq_ratio: f64,
 }
 
 /// Group key: `(cores, allocator, policy, utilization bit pattern)`. A
@@ -83,6 +86,9 @@ struct GroupAcc {
     scheduled: AcceptanceCounter,
     /// Cumulative tightness of every scheduled scenario.
     tightness: Vec<f64>,
+    /// Achieved-vs-desired frequency ratio of every scheduled scenario that
+    /// reported one (scheduled scenarios with an empty security set do not).
+    freq_ratio: Vec<f64>,
 }
 
 impl GroupAcc {
@@ -94,12 +100,16 @@ impl GroupAcc {
         if let Some(t) = outcome.cumulative_tightness {
             self.tightness.push(t);
         }
+        if let Some(f) = outcome.freq_ratio {
+            self.freq_ratio.push(f);
+        }
     }
 
     fn merge(&mut self, other: GroupAcc) {
         self.feasible.merge(&other.feasible);
         self.scheduled.merge(&other.scheduled);
         self.tightness.extend(other.tightness);
+        self.freq_ratio.extend(other.freq_ratio);
     }
 }
 
@@ -160,6 +170,8 @@ impl SweepAccumulator {
             .map(|(key, group)| {
                 let mut tightness = group.tightness.clone();
                 tightness.sort_by(f64::total_cmp);
+                let mut freq_ratio = group.freq_ratio.clone();
+                freq_ratio.sort_by(f64::total_cmp);
                 AggregateRow {
                     cores: key.0,
                     allocator: key.1,
@@ -173,13 +185,16 @@ impl SweepAccumulator {
                     mean_tightness: mean(&tightness),
                     p50_tightness: percentile_sorted(&tightness, 50.0),
                     p99_tightness: percentile_sorted(&tightness, 99.0),
+                    mean_freq_ratio: mean(&freq_ratio),
                 }
             })
             .collect()
     }
 
     /// Serializes the accumulator as stable text lines (one `group` line per
-    /// group key, tightness samples as f64 bit patterns) for checkpoints.
+    /// group key, tightness and frequency-ratio samples as f64 bit patterns)
+    /// for checkpoints. The tightness sample count is explicit so the two
+    /// variable-length sample lists can share one line unambiguously.
     #[must_use]
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -187,7 +202,7 @@ impl SweepAccumulator {
         for (key, group) in &self.groups {
             let _ = write!(
                 out,
-                "group {} {} {} {:x} {} {} {}",
+                "group {} {} {} {:x} {} {} {} {}",
                 key.0,
                 key.1.label(),
                 key.2.label(),
@@ -195,9 +210,13 @@ impl SweepAccumulator {
                 group.feasible.total(),
                 group.feasible.accepted(),
                 group.scheduled.accepted(),
+                group.tightness.len(),
             );
             for t in &group.tightness {
                 let _ = write!(out, " {:x}", t.to_bits());
+            }
+            for f in &group.freq_ratio {
+                let _ = write!(out, " {:x}", f.to_bits());
             }
             out.push('\n');
         }
@@ -240,16 +259,31 @@ impl SweepAccumulator {
             if feasible > scenarios || scheduled > feasible {
                 return Err(format!("inconsistent counters in: {line}"));
             }
-            let tightness: Vec<f64> = fields
+            // The tightness count is mandatory (v3 format): without it the
+            // tightness and frequency-ratio sample lists are ambiguous, so a
+            // pre-freq-ratio v2 line must be rejected, not misread.
+            let n_tight: usize = next("tightness count")?
+                .parse()
+                .map_err(|e| format!("tightness count: {e}"))?;
+            let samples: Vec<f64> = fields
                 .map(|bits| u64::from_str_radix(bits, 16).map(f64::from_bits))
                 .collect::<Result<_, _>>()
-                .map_err(|e| format!("tightness bits: {e}"))?;
+                .map_err(|e| format!("sample bits: {e}"))?;
+            if samples.len() < n_tight {
+                return Err(format!(
+                    "tightness count {} exceeds the {} samples in: {line}",
+                    n_tight,
+                    samples.len()
+                ));
+            }
+            let (tightness, freq_ratio) = samples.split_at(n_tight);
             let previous = acc.groups.insert(
                 (cores, allocator, policy, util_bits),
                 GroupAcc {
                     feasible: AcceptanceCounter::from_counts(feasible, scenarios),
                     scheduled: AcceptanceCounter::from_counts(scheduled, feasible),
-                    tightness,
+                    tightness: tightness.to_vec(),
+                    freq_ratio: freq_ratio.to_vec(),
                 },
             );
             if previous.is_some() {
@@ -528,12 +562,17 @@ mod tests {
         assert_eq!(restored.render(), text);
         // Malformed inputs are rejected, not misread.
         assert!(SweepAccumulator::parse("bogus 1 2 3").is_err());
-        assert!(SweepAccumulator::parse("group 2 hydra fixed zz 1 1 1").is_err());
-        assert!(SweepAccumulator::parse("group 2 hydra fixed 0 1 2 2").is_err());
-        assert!(SweepAccumulator::parse("group 2 hydra bogus 0 1 1 1").is_err());
+        assert!(SweepAccumulator::parse("group 2 hydra fixed zz 1 1 1 0").is_err());
+        assert!(SweepAccumulator::parse("group 2 hydra fixed 0 1 2 2 0").is_err());
+        assert!(SweepAccumulator::parse("group 2 hydra bogus 0 1 1 1 0").is_err());
         // The pre-policy v1 group format no longer parses (the policy field
         // is mandatory), so stale checkpoints cannot be silently mixed in.
         assert!(SweepAccumulator::parse("group 2 hydra 0 1 1 1").is_err());
+        // The pre-freq-ratio v2 format (no tightness count) is rejected too:
+        // its trailing bit patterns would otherwise be misread as a count.
+        assert!(SweepAccumulator::parse("group 2 hydra fixed 0 1 1 1").is_err());
+        // A tightness count that overruns the samples on the line is corrupt.
+        assert!(SweepAccumulator::parse("group 2 hydra fixed 0 1 1 1 2 3ff0000000000000").is_err());
         let empty = SweepAccumulator::parse("").unwrap();
         assert!(empty.is_empty());
     }

@@ -155,13 +155,13 @@ impl SweepHandle {
 /// persistent store, the full grid range.
 #[derive(Debug, Clone)]
 pub struct SweepSession {
-    spec: ScenarioSpec,
-    threads: usize,
-    batch: BatchMode,
-    obs: SweepObs,
-    store: Option<Arc<MemoStore>>,
-    range: Option<Range<usize>>,
-    handle: SweepHandle,
+    pub(crate) spec: ScenarioSpec,
+    pub(crate) threads: usize,
+    pub(crate) batch: BatchMode,
+    pub(crate) obs: SweepObs,
+    pub(crate) store: Option<Arc<MemoStore>>,
+    pub(crate) range: Option<Range<usize>>,
+    pub(crate) handle: SweepHandle,
 }
 
 impl SweepSession {

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use rt_dse::obs::PHASE_CHECKPOINT;
 use rt_dse::prelude::*;
-use rt_dse::sink::summary_to_csv;
+use rt_dse::sink::{frontier_row_to_csv, summary_to_csv, FRONTIER_HEADER};
 use rt_dse::{phase_table, sweep_fingerprint, Checkpoint, MemoStats, SweepObs, ENGINE_TRACK};
 use rt_obs::{peak_rss_bytes, Counter, Heartbeat, WorkerTracer};
 
@@ -60,6 +60,20 @@ SWEEP OPTIONS:
                           blocking is not re-validated; precedence keeps its
                           granted periods under every policy)
                                                             [default: fixed]
+    --explore MODE        exhaustive (evaluate the full grid) or frontier
+                          (adaptive utilization-cliff search: deterministic
+                          bisection per (cores, allocator, policy) slice,
+                          then a refinement budget around each bracket;
+                          emits the same record formats over far fewer
+                          scenarios and writes a {name}_frontier.csv
+                          Pareto-front artifact). Frontier output is
+                          byte-identical across thread counts, shards and
+                          resume, exactly like exhaustive sweeps
+                                                            [default: exhaustive]
+    --refine-budget N     frontier only: extra utilization points emitted
+                          around each slice's cliff bracket (half walk
+                          outward from the bracket, half low-discrepancy
+                          over the grid)                    [default: 8]
     --trials N            task sets per grid point          [default: 5]
     --seed S              base seed                         [default: 2018]
     --threads N           worker threads (0 = all cores)    [default: 0]
@@ -268,6 +282,19 @@ fn build_spec(args: &Args) -> Result<ScenarioSpec, String> {
         return Err("--cores requires one or more core counts >= 1".to_owned());
     }
 
+    let explore = match args.value_of("--explore").unwrap_or("exhaustive") {
+        "exhaustive" => {
+            if args.value_of("--refine-budget").is_some() {
+                return Err("--refine-budget requires --explore frontier".to_owned());
+            }
+            ExploreMode::Exhaustive
+        }
+        "frontier" => ExploreMode::Frontier(FrontierConfig {
+            refine_budget: args.parsed("--refine-budget")?.unwrap_or(8),
+        }),
+        other => return Err(format!("unknown explore mode: {other}")),
+    };
+
     Ok(ScenarioSpec {
         name: args.value_of("--name").unwrap_or("sweep").to_owned(),
         workload,
@@ -279,12 +306,13 @@ fn build_spec(args: &Args) -> Result<ScenarioSpec, String> {
         trials: args.parsed("--trials")?.unwrap_or(5),
         base_seed: args.parsed("--seed")?.unwrap_or(2018),
         expansion,
+        explore,
     })
 }
 
 fn print_summary(rows: &[rt_dse::AggregateRow]) {
     println!(
-        "{:>5}  {:>10}  {:>6}  {:>8}  {:>9}  {:>9}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "{:>5}  {:>10}  {:>6}  {:>8}  {:>9}  {:>9}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
         "cores",
         "allocator",
         "policy",
@@ -294,11 +322,12 @@ fn print_summary(rows: &[rt_dse::AggregateRow]) {
         "acceptance",
         "mean_eta",
         "p50_eta",
-        "p99_eta"
+        "p99_eta",
+        "mean_freq"
     );
     for row in rows {
         println!(
-            "{:>5}  {:>10}  {:>6}  {:>8}  {:>9}  {:>9}  {:>10.3}  {:>9.3}  {:>9.3}  {:>9.3}",
+            "{:>5}  {:>10}  {:>6}  {:>8}  {:>9}  {:>9}  {:>10.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}",
             row.cores,
             row.allocator.label(),
             row.policy.label(),
@@ -310,6 +339,7 @@ fn print_summary(rows: &[rt_dse::AggregateRow]) {
             row.mean_tightness,
             row.p50_tightness,
             row.p99_tightness,
+            row.mean_freq_ratio,
         );
     }
 }
@@ -331,6 +361,13 @@ struct CheckpointingSink {
     completed: usize,
     since_save: usize,
     every: usize,
+    /// Planned emission length recorded in every checkpoint (0 for
+    /// exhaustive sweeps); resume refuses a checkpoint that disagrees.
+    plan_points: usize,
+    /// Checkpoints are only taken at multiples of this many records past
+    /// the origin — frontier runs align saves to trial-group boundaries so
+    /// a resumed run restarts at a whole utilization point.
+    align: usize,
     fingerprint: u64,
     path: PathBuf,
     /// Engine-track phase recorder for checkpoint writes (inert when
@@ -355,6 +392,7 @@ impl CheckpointingSink {
             fingerprint: self.fingerprint,
             start: self.origin,
             completed: self.completed,
+            plan_points: self.plan_points,
             jsonl_bytes: self.jsonl_base + self.jsonl.bytes_written(),
             csv_bytes: self.csv_base + self.csv.bytes_written(),
             agg: self.agg.clone(),
@@ -379,7 +417,10 @@ impl OutcomeSink for CheckpointingSink {
         // far) to keep total checkpoint I/O linear in the sweep instead of
         // quadratic, while small sweeps still save every `every` records.
         let threshold = self.every.max((self.completed - self.origin) / 8);
-        if self.every > 0 && self.since_save >= threshold {
+        if self.every > 0
+            && self.since_save >= threshold
+            && (self.completed - self.origin).is_multiple_of(self.align)
+        {
             self.save_checkpoint()?;
         }
         Ok(())
@@ -459,9 +500,8 @@ fn progress_line(snap: &rt_obs::Snapshot, total: usize, elapsed: Duration) -> St
         |b| format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)),
     );
     format!
-        ("[dse] {done}/{total} ({pct:.1}%) {rate:.0} scen/s eta {eta} | memo hit pb {} pt {} al {} fs {} | reorder {} | bp wait {:.1}ms | rss {rss}",
+        ("[dse] {done}/{total} ({pct:.1}%) {rate:.0} scen/s eta {eta} | memo hit pb {} al {} fs {} | reorder {} | bp wait {:.1}ms | rss {rss}",
         hit_pct(snap.counter("memo.problem_hits"), snap.counter("memo.problem_misses")),
-        hit_pct(snap.counter("memo.partition_hits"), snap.counter("memo.partition_misses")),
         hit_pct(snap.counter("memo.allocation_hits"), snap.counter("memo.allocation_misses")),
         hit_pct(snap.counter("memo.feasibility_hits"), snap.counter("memo.feasibility_misses")),
         snap.gauge("drain.reorder_depth"),
@@ -495,17 +535,19 @@ fn run_report_json(
         "null".to_owned()
     };
     let rss = peak_rss_bytes().map_or_else(|| "null".to_owned(), |b| b.to_string());
+    // v2: the near-dead partition memo family was retired (its hit rate
+    // measured ~0.1% on representative sweeps — partitioning is folded
+    // into the allocation memo, which dedups whole repeated problems).
     format!(
-        "{{\n  \"schema\": \"dse-run/v1\",\n  \"scenarios\": {evaluated},\n  \
+        "{{\n  \"schema\": \"dse-run/v2\",\n  \"scenarios\": {evaluated},\n  \
          \"threads\": {threads},\n  \"elapsed_secs\": {secs:.6},\n  \
          \"scenarios_per_sec\": {throughput},\n  \"memo\": {{\n    \
-         \"problem\": {},\n    \"feasibility\": {},\n    \"partition\": {},\n    \
+         \"problem\": {},\n    \"feasibility\": {},\n    \
          \"allocation\": {}\n  }},\n  \"store\": {{ \"enabled\": {store_enabled}, \
          \"hits\": {}, \"misses\": {}, \"write_errors\": {} }},\n  \
          \"peak_rss_bytes\": {rss}\n}}\n",
         entry(memo.problem_hits, memo.problem_misses),
         entry(memo.feasibility_hits, memo.feasibility_misses),
-        entry(memo.partition_hits, memo.partition_misses),
         entry(memo.allocation_hits, memo.allocation_misses),
         memo.store_hits,
         memo.store_misses,
@@ -550,8 +592,40 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     let checkpoint_every: usize = args.parsed("--checkpoint-every")?.unwrap_or(256);
     let stop_after: Option<usize> = args.parsed("--stop-after")?;
 
-    let grid_len = session.grid_len();
-    let range = shard_range(grid_len, shard.0, shard.1);
+    // Frontier mode plans before any output file opens: Phase A bisects
+    // every (cores, allocator, policy) slice toward its acceptance cliff
+    // (memo-warm probes, nothing emitted), and the resulting emission list
+    // replaces the exhaustive grid as the unit of sharding, checkpointing
+    // and resume. The plan is a pure function of the spec, so a resumed or
+    // sharded run recomputes the identical list.
+    let frontier: Option<(FrontierRunner, FrontierPlan)> = match spec.explore {
+        ExploreMode::Exhaustive => None,
+        ExploreMode::Frontier(config) => {
+            eprintln!(
+                "frontier: bisecting {} slice(s) for the acceptance cliff \
+                 (refine budget {})",
+                spec.cores.len() * spec.allocators.len() * spec.period_policies.len(),
+                config.refine_budget
+            );
+            let runner = FrontierRunner::new(session.clone());
+            let plan = runner.plan();
+            eprintln!(
+                "frontier: {} probe evaluation(s) kept {} of {} grid scenarios for emission",
+                plan.probe_evals,
+                plan.len(),
+                session.grid_len()
+            );
+            Some((runner, plan))
+        }
+    };
+    let (grid_len, plan_points) = match &frontier {
+        Some((_, plan)) => (plan.len(), plan.len()),
+        None => (session.grid_len(), 0),
+    };
+    let range = match &frontier {
+        Some((_, plan)) => plan.shard_scenario_range(shard.0, shard.1),
+        None => shard_range(grid_len, shard.0, shard.1),
+    };
     let fingerprint = sweep_fingerprint(&spec, shard);
 
     let out_dir = PathBuf::from(args.value_of("--out").unwrap_or("results/dse"));
@@ -591,6 +665,16 @@ fn run_sweep(args: &Args) -> Result<(), String> {
                     range.end
                 ));
             }
+            if ckpt.plan_points != plan_points {
+                return Err(format!(
+                    "{} was written by a run planning {} emission point(s) but this \
+                     run plans {}; the exploration plan changed — delete the \
+                     checkpoint or rerun without --resume",
+                    ckpt_path.display(),
+                    ckpt.plan_points,
+                    plan_points
+                ));
+            }
         }
         found
     } else {
@@ -620,6 +704,15 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         completed: start,
         since_save: 0,
         every: checkpoint_every,
+        plan_points,
+        // Frontier emission is trial-major within each utilization point;
+        // aligning saves to trial groups keeps every checkpoint at a whole
+        // point (shard origins are always point-aligned).
+        align: if frontier.is_some() {
+            spec.trials.max(1)
+        } else {
+            1
+        },
         fingerprint,
         path: ckpt_path.clone(),
         checkpoint_tracer: obs.tracer().worker(ENGINE_TRACK),
@@ -630,11 +723,12 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     };
 
     eprintln!(
-        "sweeping \"{}\": {} of {} scenarios (grid indices {}..{}, shard {}/{}) on \
+        "sweeping \"{}\": {} of {} scenarios ({} indices {}..{}, shard {}/{}) on \
          {} cores × {} allocators × {} period policies, {} trials/point",
         spec.name,
         end - start,
         grid_len,
+        if frontier.is_some() { "plan" } else { "grid" },
         start,
         end,
         shard.0,
@@ -663,10 +757,11 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         None => Heartbeat::disabled(),
     };
 
-    let summary = session
-        .range(start..end)
-        .run(&mut sink)
-        .map_err(|e| format!("sweep aborted: {e}"))?;
+    let summary = match &frontier {
+        Some((runner, plan)) => runner.run(plan, start..end, &mut sink),
+        None => session.range(start..end).run(&mut sink),
+    }
+    .map_err(|e| format!("sweep aborted: {e}"))?;
     heartbeat.stop();
 
     let throughput = summary
@@ -681,12 +776,10 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     );
     let memo = summary.memo;
     eprintln!(
-        "memo: {} problems generated, {} reused; {} partitions computed, {} reused; \
-         {} allocations computed, {} reused; {} feasibility checks, {} reused",
+        "memo: {} problems generated, {} reused; {} allocations computed, {} reused; \
+         {} feasibility checks, {} reused",
         memo.problem_misses,
         memo.problem_hits,
-        memo.partition_misses,
-        memo.partition_hits,
         memo.allocation_misses,
         memo.allocation_hits,
         memo.feasibility_misses,
@@ -757,6 +850,25 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     }
     fs::write(&summary_path, summary_to_csv(&rows))
         .map_err(|e| format!("could not write {}: {e}", summary_path.display()))?;
+    // The frontier artifact: one row per emitted (slice, utilization)
+    // point with the slice's cliff bracket and in-slice Pareto flags.
+    // Shards follow the CSV convention — only shard 1 writes the header,
+    // so concatenating the shard artifacts reproduces the full run's.
+    if let Some((_, plan)) = &frontier {
+        let frontier_path = out_dir.join(format!("{stem}_frontier.csv"));
+        let mut text = String::new();
+        if shard.0 == 1 {
+            text.push_str(FRONTIER_HEADER);
+            text.push('\n');
+        }
+        for row in &plan.rows(&sink.agg) {
+            text.push_str(&frontier_row_to_csv(row));
+            text.push('\n');
+        }
+        fs::write(&frontier_path, text)
+            .map_err(|e| format!("could not write {}: {e}", frontier_path.display()))?;
+        eprintln!("wrote {}", frontier_path.display());
+    }
     // The shard is complete — the checkpoint has served its purpose.
     if ckpt_path.exists() {
         fs::remove_file(&ckpt_path)

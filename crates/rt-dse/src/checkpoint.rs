@@ -23,10 +23,13 @@ use crate::agg::SweepAccumulator;
 use crate::spec::ScenarioSpec;
 
 // v2: the aggregate `group` lines gained a mandatory period-policy field
-// when the sweep grid grew the policy axis. A v1 checkpoint must be
-// rejected outright — resuming it would splice a policy-less prefix into a
-// policy-aware stream.
-const MAGIC: &str = "dse-checkpoint v2";
+// when the sweep grid grew the policy axis. v3: the header gained a
+// mandatory `plan_points` line (the frontier mode's planned emission count;
+// 0 for exhaustive grids) and the `group` lines gained an explicit
+// tightness-sample count plus frequency-ratio samples. Earlier checkpoints
+// must be rejected outright — resuming one would splice an incompatible
+// prefix into the stream.
+const MAGIC: &str = "dse-checkpoint v3";
 
 /// The durable progress record of one (possibly sharded) sweep.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +43,12 @@ pub struct Checkpoint {
     /// Absolute grid index of the next scenario to evaluate — every
     /// scenario in `start..completed` is durably on disk.
     pub completed: usize,
+    /// Total scenarios of the run's plan: `0` for an exhaustive grid (whose
+    /// size the spec already determines), the planned emission count for a
+    /// frontier run. Resume recomputes the frontier plan from the spec and
+    /// rejects the checkpoint when the counts disagree — a diverged plan
+    /// must not be spliced.
+    pub plan_points: usize,
     /// Byte length of the JSONL file covering exactly `completed` records.
     pub jsonl_bytes: u64,
     /// Byte length of the CSV file covering exactly `completed` records.
@@ -57,6 +66,7 @@ impl Checkpoint {
         let _ = writeln!(out, "fingerprint {:x}", self.fingerprint);
         let _ = writeln!(out, "start {}", self.start);
         let _ = writeln!(out, "completed {}", self.completed);
+        let _ = writeln!(out, "plan_points {}", self.plan_points);
         let _ = writeln!(out, "jsonl_bytes {}", self.jsonl_bytes);
         let _ = writeln!(out, "csv_bytes {}", self.csv_bytes);
         out.push_str(&self.agg.render());
@@ -91,6 +101,9 @@ impl Checkpoint {
         if completed < start {
             return Err(format!("completed ({completed}) precedes start ({start})"));
         }
+        let plan_points: usize = header("plan_points")?
+            .parse()
+            .map_err(|e| format!("plan_points: {e}"))?;
         let jsonl_bytes: u64 = header("jsonl_bytes")?
             .parse()
             .map_err(|e| format!("jsonl_bytes: {e}"))?;
@@ -112,6 +125,7 @@ impl Checkpoint {
             fingerprint,
             start,
             completed,
+            plan_points,
             jsonl_bytes,
             csv_bytes,
             agg,
@@ -197,6 +211,7 @@ mod tests {
             fingerprint: sweep_fingerprint(&small_spec(), (1, 1)),
             start: 0,
             completed: result.outcomes.len(),
+            plan_points: 0,
             jsonl_bytes: 123,
             csv_bytes: 456,
             agg,
@@ -290,8 +305,26 @@ mod tests {
     }
 
     #[test]
-    fn stale_v1_checkpoints_are_rejected_by_the_magic_line() {
-        let err = Checkpoint::parse("dse-checkpoint v1\nfingerprint 0\n").unwrap_err();
-        assert!(err.contains("dse-checkpoint v2"), "{err}");
+    fn stale_checkpoint_versions_are_rejected_by_the_magic_line() {
+        for stale in ["dse-checkpoint v1", "dse-checkpoint v2"] {
+            let err = Checkpoint::parse(&format!("{stale}\nfingerprint 0\n")).unwrap_err();
+            assert!(err.contains("dse-checkpoint v3"), "{err}");
+        }
+    }
+
+    #[test]
+    fn plan_points_round_trip_and_are_mandatory() {
+        let mut ckpt = sample();
+        ckpt.plan_points = 42;
+        let parsed = Checkpoint::parse(&ckpt.render()).unwrap();
+        assert_eq!(parsed.plan_points, 42);
+        // A render with the plan_points line stripped (the v2 layout) fails.
+        let legacy: String = ckpt
+            .render()
+            .lines()
+            .filter(|l| !l.starts_with("plan_points"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Checkpoint::parse(&legacy).is_err());
     }
 }

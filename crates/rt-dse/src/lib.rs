@@ -17,9 +17,11 @@
 //!   [`OutcomeSink`](sink::OutcomeSink) in grid order through a reorder
 //!   buffer, so memory stays O(threads + reorder window) instead of O(grid),
 //! * [`MemoCache`](memo::MemoCache) — cross-scenario caching of generated
-//!   problems, Eq. (1) feasibility verdicts and real-time partitions keyed
-//!   by `(task-set hash, cores, config)`, so the allocator axis never
-//!   re-partitions the same task set,
+//!   problems, Eq. (1) feasibility verdicts and allocator runs, so the
+//!   allocator/policy axes never regenerate or re-solve the same point,
+//! * [`FrontierRunner`](frontier::FrontierRunner) — the adaptive
+//!   exploration mode: per-slice bisection for the acceptance cliff plus a
+//!   deterministic refinement plan, replacing exhaustive utilization grids,
 //! * [`SweepAccumulator`](agg::SweepAccumulator) /
 //!   [`PairedSink`](agg::PairedSink) — online acceptance-ratio and tightness
 //!   summaries (mean / p50 / p99) plus the paired HYDRA-vs-Optimal gap of
@@ -62,6 +64,7 @@ pub mod agg;
 pub mod api;
 pub mod checkpoint;
 pub mod exec;
+pub mod frontier;
 pub mod grid;
 pub mod memo;
 pub mod obs;
@@ -77,19 +80,17 @@ pub use agg::{
 pub use api::{Progress, SweepHandle, SweepSession};
 pub use checkpoint::{sweep_fingerprint, Checkpoint};
 pub use exec::{shard_range, Executor, StreamSummary, SweepResult};
+pub use frontier::{FrontierPlan, FrontierRow, FrontierRunner, FrontierSlice};
 pub use grid::ScenarioGrid;
-pub use memo::{
-    hash_taskset, AllocationKey, MemoCache, MemoStats, PartitionKey, ProblemKey, SharedAllocation,
-    SharedPartition,
-};
+pub use memo::{hash_taskset, AllocationKey, MemoCache, MemoStats, ProblemKey, SharedAllocation};
 pub use obs::{phase_table, SweepObs, WorkerObs, ENGINE_TRACK, PHASES};
 pub use rt_core::batch::{BatchMode, BatchStats};
 pub use rt_core::Time;
 pub use scenario::{DetectionStats, Scenario, ScenarioOutcome};
 pub use sink::{CsvSink, JsonlSink, NullSink, OutcomeSink, TeeSink, VecSink};
 pub use spec::{
-    AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
-    UtilizationGrid, Workload,
+    AllocatorKind, Evaluation, Expansion, ExploreMode, FrontierConfig, PeriodPolicy, ScenarioSpec,
+    SyntheticOverrides, UtilizationGrid, Workload,
 };
 pub use store::MemoStore;
 
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use crate::agg::{aggregate, paired_comparison, PairedSink, SweepAccumulator};
     pub use crate::api::{Progress, SweepHandle, SweepSession};
     pub use crate::exec::{shard_range, Executor, StreamSummary, SweepResult};
+    pub use crate::frontier::{FrontierPlan, FrontierRow, FrontierRunner, FrontierSlice};
     pub use crate::grid::ScenarioGrid;
     pub use crate::scenario::{Scenario, ScenarioOutcome};
     #[allow(deprecated)]
@@ -106,8 +108,8 @@ pub mod prelude {
         to_csv, to_jsonl, write_outputs, CsvSink, JsonlSink, NullSink, OutcomeSink, VecSink,
     };
     pub use crate::spec::{
-        AllocatorKind, Evaluation, Expansion, PeriodPolicy, ScenarioSpec, SyntheticOverrides,
-        UtilizationGrid, Workload,
+        AllocatorKind, Evaluation, Expansion, ExploreMode, FrontierConfig, PeriodPolicy,
+        ScenarioSpec, SyntheticOverrides, UtilizationGrid, Workload,
     };
     pub use crate::store::MemoStore;
     pub use rt_core::batch::BatchMode;

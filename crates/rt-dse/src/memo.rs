@@ -1,6 +1,6 @@
 //! Cross-scenario memoization.
 //!
-//! Four kinds of expensive intermediate work are shared across scenario
+//! Three kinds of expensive intermediate work are shared across scenario
 //! points:
 //!
 //! * scenarios differing only in the **allocator** or **period-policy**
@@ -9,11 +9,6 @@
 //! * the Eq. (1) **necessary-condition** filter depends only on the
 //!   real-time task set and the core count, so its verdict is cached keyed
 //!   by `(task-set hash, cores)`;
-//! * the real-time **partition** depends only on `(task set, core count,
-//!   partitioning config)` — every scheme sweeping the same problem reuses
-//!   it instead of re-running `partition_tasks` per axis point (the
-//!   SingleCore scheme shares the `M − 1`-core partition under the same
-//!   key family);
 //! * the **allocation** (placement search) depends only on `(problem,
 //!   scheme)` — the period-policy axis re-derives periods from one shared
 //!   allocator run instead of repeating the search per policy.
@@ -22,34 +17,30 @@
 //! work-stealing executor; every entry is immutable once inserted (`Arc`ed
 //! problems), so readers never block writers of *other* keys for long.
 //!
-//! # Why partition hits are structurally rare in two-scheme sweeps
+//! # The retired partition family
 //!
-//! Sweep telemetry for the default bench grid (Hydra + SingleCore) shows
-//! thousands of partition misses against a handful of hits. That is not an
-//! over-discriminating key — it is the composition of three structural
-//! facts:
+//! Earlier revisions carried a fourth family caching the real-time
+//! partition per `(task-set hash, cores, config)` key. Sweep telemetry
+//! measured it essentially dead — **5 hits against 5754 misses** (< 0.1 %)
+//! on the default bench grid — and the cause is structural, not a fixable
+//! key choice:
 //!
-//! 1. **The allocation memo sits upstream.** `partition` is only consulted
-//!    from inside an allocator run, and whole allocator runs are themselves
-//!    cached per `(problem, scheme)`. The period-policy axis therefore never
-//!    reaches the partition cache at all, and a scheme revisiting a problem
-//!    hits the allocation cache first.
-//! 2. **Hydra-family and SingleCore keys are disjoint.** Every full-platform
-//!    scheme (Hydra, NpHydra, Precedence, Optimal) partitions `M` cores and
-//!    shares one key family; SingleCore partitions `M − 1` cores, a family
-//!    no other scheme can ever share. A Hydra + SingleCore sweep — the
-//!    paper's headline comparison — thus has **zero** possible cross-scheme
-//!    reuse, and each feasible problem misses exactly twice.
-//! 3. **Task sets are unique per scenario address.** The taskset hash is
-//!    structural, and the generator derives each set from its own
-//!    `(seed, stream)` address, so two grid points virtually never produce
-//!    identical timing parameters; the stray hits in telemetry are
-//!    low-utilization collisions (tiny sets at the same normalized step).
+//! 1. **The allocation memo sits upstream.** The partition was only built
+//!    inside an allocator run, and whole allocator runs are themselves
+//!    cached per `(problem, scheme)`, so repeat visitors never reached it.
+//! 2. **Hydra-family and SingleCore keys are disjoint.** Full-platform
+//!    schemes partition `M` cores while SingleCore partitions `M − 1`: a
+//!    Hydra + SingleCore sweep — the paper's headline comparison — had zero
+//!    possible cross-scheme reuse.
+//! 3. **Task sets are unique per scenario address.** Each set derives from
+//!    its own `(seed, stream)` address, so two grid points virtually never
+//!    hash alike; the stray hits were low-utilization collisions.
 //!
-//! Sweeps mixing two or more full-platform schemes do reuse partitions —
-//! one miss then one hit per extra scheme per feasible problem — which is
-//! the intended hit pattern the `partition_reuse_is_per_key_family` test
-//! pins.
+//! The partition is now computed inline by the allocator paths. The only
+//! reuse the family ever delivered — sweeps mixing two or more
+//! full-platform schemes, one hit per extra scheme per feasible problem —
+//! costs at most one extra `partition_tasks` run per such scheme, noise
+//! next to the placement search the allocation family still dedups.
 
 // The sharded caches are keyed point-lookups, never iterated, so hash order
 // cannot reach output bytes (allowlisted for lint rule D001).
@@ -60,8 +51,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hydra_core::{Allocation, AllocationError, AllocationProblem};
-use rt_core::{TaskId, TaskSet};
-use rt_partition::{Partition, PartitionConfig};
+use rt_core::TaskSet;
 
 use crate::spec::AllocatorKind;
 use crate::store::MemoStore;
@@ -95,20 +85,6 @@ pub struct AllocationKey {
     pub problem: ProblemKey,
     /// The allocation scheme that ran.
     pub allocator: AllocatorKind,
-}
-
-/// Identifies one real-time partitioning result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PartitionKey {
-    /// Structural fingerprint of the real-time task set
-    /// (see [`hash_taskset`]).
-    pub taskset_hash: u64,
-    /// Number of cores the partition targets (for the SingleCore scheme this
-    /// is `M − 1`, so the entry is exactly what a smaller platform would
-    /// compute and share).
-    pub cores: usize,
-    /// The partitioning policy.
-    pub config: PartitionConfig,
 }
 
 /// FNV-1a over the timing parameters of a real-time task set: a stable
@@ -156,17 +132,12 @@ pub struct MemoStats {
     pub feasibility_hits: u64,
     /// Feasibility-cache misses.
     pub feasibility_misses: u64,
-    /// Partition-cache hits (a `partition_tasks` run elided).
-    pub partition_hits: u64,
-    /// Partition-cache misses — one per unique `(task set, cores, config)`
-    /// key, **not** per scenario.
-    pub partition_misses: u64,
     /// Allocation-cache hits (a placement search elided — the period-policy
     /// axis reuses one allocator run per `(problem, scheme)` key).
     pub allocation_hits: u64,
     /// Allocation-cache misses (the allocator actually ran).
     pub allocation_misses: u64,
-    /// Persistent-store hits, summed over all four families: an in-memory
+    /// Persistent-store hits, summed over all three families: an in-memory
     /// miss that was answered from the attached [`MemoStore`] instead of
     /// recomputed. Always zero without an attached store. The in-memory
     /// family counters above deliberately do **not** distinguish warm from
@@ -174,19 +145,15 @@ pub struct MemoStats {
     /// computation would have booked, keeping them byte-identical across
     /// store states.
     pub store_hits: u64,
-    /// Persistent-store misses (all four families): the key was absent —
+    /// Persistent-store misses (all three families): the key was absent —
     /// or its entry corrupt — so the value was computed and written back.
     /// A fully warm store completes a repeat sweep with zero misses.
     pub store_misses: u64,
-    /// Failed persistent-store writes (all four families). Write failures
+    /// Failed persistent-store writes (all three families). Write failures
     /// are tolerated — the sweep's results are unaffected; the entry is
     /// simply recomputed by whoever needs it next.
     pub store_write_errors: u64,
 }
-
-/// A cached partitioning result: the partition, or the task that could not
-/// be placed (failures cache too).
-pub type SharedPartition = Arc<Result<Partition, TaskId>>;
 
 /// A cached allocator run: the allocation, or the scheme's rejection
 /// (failures cache too — an unschedulable task set fails once per scheme,
@@ -207,8 +174,6 @@ struct MemoObsCounters {
     problem_misses: rt_obs::Counter,
     feasibility_hits: rt_obs::Counter,
     feasibility_misses: rt_obs::Counter,
-    partition_hits: rt_obs::Counter,
-    partition_misses: rt_obs::Counter,
     allocation_hits: rt_obs::Counter,
     allocation_misses: rt_obs::Counter,
     store_hits: rt_obs::Counter,
@@ -240,14 +205,11 @@ pub struct MemoCache {
     store: Option<Arc<MemoStore>>,
     problems: Vec<FreshShard<ProblemKey, Arc<AllocationProblem>>>,
     feasibility: Vec<FreshShard<(u64, usize), bool>>,
-    partitions: Vec<Mutex<HashMap<PartitionKey, SharedPartition>>>,
     allocations: Vec<Mutex<HashMap<AllocationKey, SharedAllocation>>>,
     problem_hits: AtomicU64,
     problem_misses: AtomicU64,
     feasibility_hits: AtomicU64,
     feasibility_misses: AtomicU64,
-    partition_hits: AtomicU64,
-    partition_misses: AtomicU64,
     allocation_hits: AtomicU64,
     allocation_misses: AtomicU64,
     store_hits: AtomicU64,
@@ -264,14 +226,11 @@ impl MemoCache {
             store: None,
             problems: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             feasibility: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            partitions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             allocations: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             problem_hits: AtomicU64::new(0),
             problem_misses: AtomicU64::new(0),
             feasibility_hits: AtomicU64::new(0),
             feasibility_misses: AtomicU64::new(0),
-            partition_hits: AtomicU64::new(0),
-            partition_misses: AtomicU64::new(0),
             allocation_hits: AtomicU64::new(0),
             allocation_misses: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
@@ -292,8 +251,6 @@ impl MemoCache {
                 problem_misses: shard.counter("memo.problem_misses"),
                 feasibility_hits: shard.counter("memo.feasibility_hits"),
                 feasibility_misses: shard.counter("memo.feasibility_misses"),
-                partition_hits: shard.counter("memo.partition_hits"),
-                partition_misses: shard.counter("memo.partition_misses"),
                 allocation_hits: shard.counter("memo.allocation_hits"),
                 allocation_misses: shard.counter("memo.allocation_misses"),
                 store_hits: shard.counter("memo.store_hits"),
@@ -549,44 +506,6 @@ impl MemoCache {
         }
     }
 
-    /// Returns the cached real-time partition for `key`, computing it with
-    /// `build` on a miss. Failures (the task that could not be placed) are
-    /// cached too — an unpartitionable task set fails once, not once per
-    /// scheme. Like [`MemoCache::problem`], the lock is not held while
-    /// `build` runs, so racing builders of the same key may both run the
-    /// deterministic heuristic and either result wins.
-    pub fn partition(
-        &self,
-        key: PartitionKey,
-        build: impl FnOnce() -> Result<Partition, TaskId>,
-    ) -> SharedPartition {
-        let shard = &self.partitions[Self::shard_of(
-            key.taskset_hash
-                .wrapping_add((key.cores as u64).rotate_left(24)),
-        )];
-        if let Some(found) = shard.lock().expect("memo shard poisoned").get(&key) {
-            bump(&self.partition_hits);
-            self.obs.partition_hits.inc();
-            return Arc::clone(found);
-        }
-        bump(&self.partition_misses);
-        self.obs.partition_misses.inc();
-        if let Some(found) = self.store.as_deref().and_then(|s| s.get_partition(&key)) {
-            self.book_store_hit();
-            let mut guard = shard.lock().expect("memo shard poisoned");
-            return Arc::clone(guard.entry(key).or_insert(Arc::new(found)));
-        }
-        if self.store.is_some() {
-            self.book_store_miss();
-        }
-        let built = Arc::new(build());
-        if let Some(store) = self.store.as_deref() {
-            self.book_store_write(store.put_partition(&key, &built));
-        }
-        let mut guard = shard.lock().expect("memo shard poisoned");
-        Arc::clone(guard.entry(key).or_insert(built))
-    }
-
     /// Returns the cached allocator run for `key`, computing it with
     /// `build` on a miss. The period-policy axis calls this once per
     /// scenario but the placement search runs once per `(problem, scheme)`
@@ -635,8 +554,6 @@ impl MemoCache {
             problem_misses: read(&self.problem_misses),
             feasibility_hits: read(&self.feasibility_hits),
             feasibility_misses: read(&self.feasibility_misses),
-            partition_hits: read(&self.partition_hits),
-            partition_misses: read(&self.partition_misses),
             allocation_hits: read(&self.allocation_hits),
             allocation_misses: read(&self.allocation_misses),
             store_hits: read(&self.store_hits),
@@ -650,6 +567,7 @@ impl MemoCache {
 mod tests {
     use super::*;
     use hydra_core::{casestudy, catalog};
+    use rt_partition::Partition;
 
     fn key(stream: u64) -> ProblemKey {
         ProblemKey {
@@ -706,45 +624,6 @@ mod tests {
         // Different cores: a fresh verdict.
         let _ = cache.feasibility(99, 4, || false);
         assert_eq!(cache.stats().feasibility_misses, 2);
-    }
-
-    #[test]
-    fn partitions_are_cached_including_failures() {
-        let cache = MemoCache::new();
-        let key = PartitionKey {
-            taskset_hash: 42,
-            cores: 2,
-            config: PartitionConfig::paper_default(),
-        };
-        let mut calls = 0;
-        for _ in 0..3 {
-            let p = cache.partition(key, || {
-                calls += 1;
-                Ok(Partition::new(4, 2))
-            });
-            assert!(p.is_ok());
-        }
-        assert_eq!(calls, 1);
-        assert_eq!(cache.stats().partition_misses, 1);
-        assert_eq!(cache.stats().partition_hits, 2);
-        // A different core count is a different entry; failures cache too.
-        let failing = PartitionKey { cores: 1, ..key };
-        for _ in 0..2 {
-            let p = cache.partition(failing, || Err(TaskId(3)));
-            assert_eq!(*p, Err(TaskId(3)));
-        }
-        assert_eq!(cache.stats().partition_misses, 2);
-        assert_eq!(cache.stats().partition_hits, 3);
-        // A different config is a different entry.
-        let other_config = PartitionKey {
-            config: PartitionConfig::new(
-                rt_partition::Heuristic::WorstFit,
-                rt_partition::AdmissionTest::ResponseTime,
-            ),
-            ..key
-        };
-        let _ = cache.partition(other_config, || Ok(Partition::new(4, 2)));
-        assert_eq!(cache.stats().partition_misses, 3);
     }
 
     #[test]
@@ -833,35 +712,6 @@ mod tests {
         assert!(cache.feasibility(7, 2, || unreachable!()));
     }
 
-    #[test]
-    fn partition_reuse_is_per_key_family() {
-        // The intended hit pattern (see the module docs): full-platform
-        // schemes share the M-core key family — one miss, then one hit per
-        // extra scheme — while SingleCore's M − 1-core family is disjoint,
-        // so a Hydra + SingleCore sweep structurally cannot cross-hit.
-        let cache = MemoCache::new();
-        let config = PartitionConfig::paper_default();
-        let full = PartitionKey {
-            taskset_hash: 42,
-            cores: 4,
-            config,
-        };
-        // Hydra partitions the full platform…
-        let _ = cache.partition(full, || Ok(Partition::new(6, 4)));
-        // …and NpHydra / Precedence / Optimal reuse that exact entry.
-        for _ in 0..3 {
-            let _ = cache.partition(full, || panic!("full-platform entry must be shared"));
-        }
-        assert_eq!(cache.stats().partition_misses, 1);
-        assert_eq!(cache.stats().partition_hits, 3);
-        // SingleCore asks for M − 1 cores: a different key family, so the
-        // same task set misses again — no cross-scheme reuse is possible.
-        let single = PartitionKey { cores: 3, ..full };
-        let _ = cache.partition(single, || Ok(Partition::new(6, 3)));
-        assert_eq!(cache.stats().partition_misses, 2);
-        assert_eq!(cache.stats().partition_hits, 3);
-    }
-
     fn store_in(tag: &str) -> (Arc<MemoStore>, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!("rt-dse-memo-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -904,19 +754,13 @@ mod tests {
     }
 
     #[test]
-    fn store_backed_partitions_and_allocations_round_trip() {
+    fn store_backed_allocations_round_trip() {
         let (store, dir) = store_in("pa");
-        let pkey = PartitionKey {
-            taskset_hash: 42,
-            cores: 2,
-            config: PartitionConfig::paper_default(),
-        };
         let akey = AllocationKey {
             problem: key(1),
             allocator: AllocatorKind::Hydra,
         };
         let cold = MemoCache::new().backed_by(Arc::clone(&store));
-        let _ = cold.partition(pkey, || Err(TaskId(3)));
         let _ = cold.allocation(akey, || {
             Err(AllocationError::InsufficientCores {
                 available: 1,
@@ -924,14 +768,11 @@ mod tests {
             })
         });
         let warm = MemoCache::new().backed_by(store);
-        let p = warm.partition(pkey, || panic!("partition is on disk"));
-        assert_eq!(*p, Err(TaskId(3)));
         let a = warm.allocation(akey, || panic!("allocation is on disk"));
         assert!(a.is_err());
         let stats = warm.stats();
-        assert_eq!(stats.partition_misses, 1);
         assert_eq!(stats.allocation_misses, 1);
-        assert_eq!(stats.store_hits, 2);
+        assert_eq!(stats.store_hits, 1);
         assert_eq!(stats.store_misses, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -17,7 +17,7 @@
 //! | `sweep.scenarios_done` | scenarios fully evaluated |
 //! | `sweep.backpressure_waits` | times a worker blocked on the reorder window |
 //! | `sweep.backpressure_wait_ns` | total time workers spent blocked |
-//! | `memo.{problem,feasibility,partition,allocation}_{hits,misses}` | memo cache traffic |
+//! | `memo.{problem,feasibility,allocation}_{hits,misses}` | memo cache traffic |
 //! | `sim.{releases,completions,truncated,preemptions,idle_jumps}` | simulator scheduling events |
 //! | `optimal.{visited,pruned,total}` | branch-and-bound search statistics |
 //! | `batch.scalar_fallbacks` | analyses the batch kernels handed back to the scalar path |

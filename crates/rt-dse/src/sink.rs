@@ -398,12 +398,12 @@ pub fn to_csv(outcomes: &[ScenarioOutcome]) -> String {
 pub fn summary_to_csv(rows: &[AggregateRow]) -> String {
     let mut out = String::from(
         "cores,allocator,policy,utilization,scenarios,feasible,scheduled,acceptance_ratio,\
-         mean_tightness,p50_tightness,p99_tightness\n",
+         mean_tightness,p50_tightness,p99_tightness,mean_freq_ratio\n",
     );
     for row in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             row.cores,
             row.allocator.label(),
             row.policy.label(),
@@ -415,7 +415,52 @@ pub fn summary_to_csv(rows: &[AggregateRow]) -> String {
             row.mean_tightness,
             row.p50_tightness,
             row.p99_tightness,
+            row.mean_freq_ratio,
         );
+    }
+    out
+}
+
+/// The header line of the frontier artifact CSV (no trailing newline) — one
+/// row per probed utilization point of each `(cores, allocator, policy)`
+/// slice, carrying that slice's final cliff bracket and the in-slice
+/// Pareto-front flag.
+pub const FRONTIER_HEADER: &str = "cores,allocator,policy,utilization,scenarios,feasible,\
+                                   schedulable,acceptance_ratio,mean_tightness,mean_freq_ratio,\
+                                   cliff_lo,cliff_hi,pareto";
+
+/// Renders one frontier row as a CSV line matching [`FRONTIER_HEADER`]
+/// (no newline).
+#[must_use]
+pub fn frontier_row_to_csv(row: &crate::frontier::FrontierRow) -> String {
+    let csv_opt = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v}"));
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        row.cores,
+        row.allocator.label(),
+        row.policy.label(),
+        row.utilization,
+        row.scenarios,
+        row.feasible,
+        row.scheduled,
+        row.acceptance_ratio,
+        row.mean_tightness,
+        row.mean_freq_ratio,
+        csv_opt(row.cliff_lo),
+        csv_opt(row.cliff_hi),
+        row.pareto,
+    )
+}
+
+/// Renders the full frontier artifact (header + one row per probed point,
+/// slices in spec order, utilizations ascending within each slice).
+#[must_use]
+pub fn frontier_to_csv(rows: &[crate::frontier::FrontierRow]) -> String {
+    let mut out = String::from(FRONTIER_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&frontier_row_to_csv(row));
+        out.push('\n');
     }
     out
 }

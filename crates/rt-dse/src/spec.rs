@@ -321,6 +321,42 @@ pub enum Expansion {
     Sampled(usize),
 }
 
+/// Tuning knobs of the frontier-seeking exploration mode (see
+/// [`ExploreMode::Frontier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierConfig {
+    /// Refinement points spent per slice *after* the bisection has located
+    /// the acceptance cliff: half bracket the cliff outward on the reference
+    /// grid, half are low-discrepancy samples over the unprobed remainder of
+    /// the utilization axis.
+    pub refine_budget: usize,
+}
+
+impl Default for FrontierConfig {
+    fn default() -> Self {
+        FrontierConfig { refine_budget: 8 }
+    }
+}
+
+/// Which utilization-axis points of the reference grid a sweep evaluates.
+///
+/// The reference grid — [`ScenarioSpec::utilizations`] expanded per core
+/// count — always defines the *addressable* points; the explore mode decides
+/// which of them are worth evaluating. [`ExploreMode::Frontier`] replaces
+/// the exhaustive enumeration with a deterministic cliff search: per
+/// `(cores, allocator, policy)` slice it bisects the utilization axis for
+/// the acceptance-ratio cliff and spends [`FrontierConfig::refine_budget`]
+/// extra points around it. The schedule derives only from the spec
+/// fingerprint plus already-committed round results, so adaptive runs stay
+/// byte-identical across thread counts and shard/resume boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Evaluate every reference-grid point (the classic cartesian sweep).
+    Exhaustive,
+    /// Binary-search each slice's acceptance cliff, then refine around it.
+    Frontier(FrontierConfig),
+}
+
 /// A complete, declarative description of one design-space sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -346,6 +382,10 @@ pub struct ScenarioSpec {
     pub base_seed: u64,
     /// Cartesian or sampled expansion.
     pub expansion: Expansion,
+    /// Exploration strategy over the utilization axis: exhaustive grid
+    /// enumeration or the frontier-seeking cliff search. Part of the sweep
+    /// fingerprint, so checkpoints from one mode never resume the other.
+    pub explore: ExploreMode,
 }
 
 impl ScenarioSpec {
@@ -364,6 +404,7 @@ impl ScenarioSpec {
             trials: 25,
             base_seed: 2018,
             expansion: Expansion::Cartesian,
+            explore: ExploreMode::Exhaustive,
         }
     }
 
@@ -384,6 +425,7 @@ impl ScenarioSpec {
             trials: 1,
             base_seed: 2018,
             expansion: Expansion::Cartesian,
+            explore: ExploreMode::Exhaustive,
         }
     }
 }

@@ -1,12 +1,11 @@
 //! The persistent, content-addressed memo store.
 //!
-//! [`MemoStore`] globalizes the four per-run memo families of
-//! [`crate::MemoCache`] — generated problems, Eq. (1) feasibility verdicts,
-//! real-time partitions and allocator runs — into an on-disk key/value store
-//! shared by every run that opens the same directory: the `dse` CLI, the
-//! `dse-serve` server, and any embedder of [`crate::api::SweepSession`]. A
-//! second identical (or overlapping) sweep pays only for the points nobody
-//! has evaluated before.
+//! [`MemoStore`] globalizes the three per-run memo families of
+//! [`crate::MemoCache`] — generated problems, Eq. (1) feasibility verdicts
+//! and allocator runs — into an on-disk key/value store shared by every run
+//! that opens the same directory: the `dse` CLI, the `dse-serve` server, and
+//! any embedder of [`crate::api::SweepSession`]. A second identical (or
+//! overlapping) sweep pays only for the points nobody has evaluated before.
 //!
 //! # Layout
 //!
@@ -14,9 +13,12 @@
 //! <root>/STORE                   version header ("dse-memo-store v1")
 //! <root>/problem/ab/<hash16>     one entry per content-addressed key
 //! <root>/feasibility/cd/<hash16>
-//! <root>/partition/ef/<hash16>
 //! <root>/allocation/01/<hash16>
 //! ```
+//!
+//! (Stores written by earlier revisions may additionally carry a
+//! `partition/` family; it belongs to the retired partition memo and is
+//! simply never read — delete it to reclaim space.)
 //!
 //! Every entry file is plain text: a magic/version line, the full rendered
 //! key (echoed so hash collisions and foreign files are detected, not
@@ -48,7 +50,7 @@ use hydra_core::{
 use rt_core::{RtTask, TaskId, TaskSet, Time};
 use rt_partition::{AdmissionTest, CoreId, Heuristic, Partition, PartitionConfig, TaskOrdering};
 
-use crate::memo::{AllocationKey, PartitionKey, ProblemKey};
+use crate::memo::{AllocationKey, ProblemKey};
 
 /// The store-level version header (first line of `<root>/STORE`).
 const STORE_MAGIC: &str = "dse-memo-store v1";
@@ -67,7 +69,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// A persistent, content-addressed, corruption-tolerant store for the four
+/// A persistent, content-addressed, corruption-tolerant store for the three
 /// memo families. See the module docs for the layout and durability story.
 ///
 /// All methods take `&self`; a single store (typically behind an `Arc`) is
@@ -187,29 +189,6 @@ impl MemoStore {
         )
     }
 
-    /// Looks up a real-time partitioning result (failures are stored too).
-    #[must_use]
-    pub fn get_partition(&self, key: &PartitionKey) -> Option<Result<Partition, TaskId>> {
-        let payload = self.read_entry("partition", &partition_key_line(key)?)?;
-        decode_partition(&payload)
-    }
-
-    /// Persists a real-time partitioning result.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first I/O error.
-    pub fn put_partition(
-        &self,
-        key: &PartitionKey,
-        value: &Result<Partition, TaskId>,
-    ) -> io::Result<()> {
-        let Some(key_line) = partition_key_line(key) else {
-            return Ok(()); // unencodable config variant: simply not persisted
-        };
-        self.write_entry("partition", &key_line, &encode_partition(value))
-    }
-
     /// Looks up an allocator run (rejections are stored too).
     #[must_use]
     pub fn get_allocation(
@@ -324,19 +303,6 @@ fn problem_key_line(key: &ProblemKey) -> String {
 
 fn feasibility_key_line(taskset_hash: u64, cores: usize) -> String {
     format!("feasibility taskset={taskset_hash:016x} cores={cores}")
-}
-
-/// `None` when the config carries a variant the codec does not know (the
-/// entry is then simply not persisted).
-fn partition_key_line(key: &PartitionKey) -> Option<String> {
-    Some(format!(
-        "partition taskset={:016x} cores={} heuristic={} admission={} ordering={}",
-        key.taskset_hash,
-        key.cores,
-        heuristic_label(key.config.heuristic),
-        admission_label(key.config.admission),
-        ordering_label(key.config.ordering),
-    ))
 }
 
 fn allocation_key_line(key: &AllocationKey) -> String {
@@ -541,7 +507,7 @@ fn decode_problem(payload: &str) -> Option<AllocationProblem> {
     )
 }
 
-// ---- partition codec -----------------------------------------------------
+// ---- assignment codec (shared by the allocation payload) -----------------
 
 fn assignment_field(partition: &Partition) -> String {
     let mut out = String::new();
@@ -574,38 +540,6 @@ fn parse_assignment(field: &str, cores: usize) -> Option<Vec<Option<CoreId>>> {
             }
         })
         .collect()
-}
-
-fn encode_partition(value: &Result<Partition, TaskId>) -> String {
-    match value {
-        Ok(partition) => format!(
-            "ok {} cores\na {}\n",
-            partition.cores(),
-            assignment_field(partition)
-        ),
-        Err(task) => format!("err task {}\n", task.0),
-    }
-}
-
-fn decode_partition(payload: &str) -> Option<Result<Partition, TaskId>> {
-    let mut lines = payload.lines();
-    let first = lines.next()?;
-    if let Some(task) = first.strip_prefix("err task ") {
-        return Some(Err(TaskId(task.parse().ok()?)));
-    }
-    let cores: usize = first
-        .strip_prefix("ok ")?
-        .strip_suffix(" cores")?
-        .parse()
-        .ok()?;
-    if cores == 0 {
-        return None;
-    }
-    let assignment = parse_assignment(lines.next()?.strip_prefix("a ")?, cores)?;
-    if lines.next().is_some() {
-        return None;
-    }
-    Some(Ok(Partition::from_assignment(assignment, cores)))
 }
 
 // ---- allocation codec ----------------------------------------------------
@@ -767,7 +701,7 @@ mod tests {
     }
 
     #[test]
-    fn feasibility_partition_and_allocation_round_trip() {
+    fn feasibility_and_allocation_round_trip() {
         let dir = tmp_dir("families");
         let store = MemoStore::open(&dir).unwrap().with_fsync(false);
         assert!(store.get_feasibility(9, 2).is_none());
@@ -776,22 +710,7 @@ mod tests {
         assert_eq!(store.get_feasibility(9, 2), Some(true));
         assert_eq!(store.get_feasibility(9, 4), Some(false));
 
-        let pkey = PartitionKey {
-            taskset_hash: 9,
-            cores: 3,
-            config: PartitionConfig::paper_default(),
-        };
         let partition = Partition::from_assignment(vec![Some(CoreId(0)), None, Some(CoreId(2))], 3);
-        store.put_partition(&pkey, &Ok(partition.clone())).unwrap();
-        let restored = store.get_partition(&pkey).unwrap().unwrap();
-        assert_eq!(restored.cores(), 3);
-        assert_eq!(restored.core_of(TaskId(0)), Some(CoreId(0)));
-        assert_eq!(restored.core_of(TaskId(1)), None);
-        assert_eq!(restored.core_of(TaskId(2)), Some(CoreId(2)));
-        let fkey = PartitionKey { cores: 1, ..pkey };
-        store.put_partition(&fkey, &Err(TaskId(5))).unwrap();
-        assert_eq!(store.get_partition(&fkey), Some(Err(TaskId(5))));
-
         let akey = AllocationKey {
             problem: problem_key(),
             allocator: crate::spec::AllocatorKind::Hydra,

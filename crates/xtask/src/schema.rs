@@ -6,17 +6,18 @@
 //! code block with one entry per line:
 //!
 //! ```text
-//! <!-- lint-schema: metrics -->        counter sweep.scenarios_done …
-//! <!-- lint-schema: csv-columns -->    index …
-//! <!-- lint-schema: summary-columns -->cores …
-//! <!-- lint-schema: jsonl-fields -->   index …
+//! <!-- lint-schema: metrics -->         counter sweep.scenarios_done …
+//! <!-- lint-schema: csv-columns -->     index …
+//! <!-- lint-schema: summary-columns --> cores …
+//! <!-- lint-schema: frontier-columns -->cores …
+//! <!-- lint-schema: jsonl-fields -->    index …
 //! ```
 //!
 //! Code side: metric registrations (`.counter("…")`, `.gauge("…")`,
 //! `.histogram("…")`) anywhere under `crates/rt-dse/src/`, the
-//! `CSV_HEADER` and `summary_to_csv` literals in `sink.rs`, and the
-//! `\"field\":` keys of `outcome_to_json`. Additions, removals and renames
-//! on either side fail the gate.
+//! `CSV_HEADER`, `summary_to_csv` and `FRONTIER_HEADER` literals in
+//! `sink.rs`, and the `\"field\":` keys of `outcome_to_json`. Additions,
+//! removals and renames on either side fail the gate.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -93,6 +94,10 @@ pub fn check(
     let summary_columns = extract_literal_after(&sink_raw, "fn summary_to_csv")
         .map(|h| split_columns(h.trim_end_matches('\n')))
         .ok_or("sink.rs: could not locate the summary_to_csv header literal")?;
+    // Fixture sinks predate frontier mode; the artifact table is enforced
+    // only where sink.rs actually declares the header.
+    let frontier_columns =
+        extract_literal_after(&sink_raw, "FRONTIER_HEADER").map(|h| split_columns(&h));
     let jsonl_fields = extract_jsonl_fields(&sink_raw, sink);
 
     // ---- README side -----------------------------------------------------
@@ -102,6 +107,7 @@ pub fn check(
     let doc_metrics = marker_block(&readme, "metrics");
     let doc_csv = marker_block(&readme, "csv-columns");
     let doc_summary = marker_block(&readme, "summary-columns");
+    let doc_frontier = marker_block(&readme, "frontier-columns");
     let doc_jsonl = marker_block(&readme, "jsonl-fields");
 
     // ---- cross-check -----------------------------------------------------
@@ -140,6 +146,9 @@ pub fn check(
     }
     check_columns(findings, doc_csv, "csv-columns", &csv_columns);
     check_columns(findings, doc_summary, "summary-columns", &summary_columns);
+    if let Some(frontier_columns) = &frontier_columns {
+        check_columns(findings, doc_frontier, "frontier-columns", frontier_columns);
+    }
     check_columns(findings, doc_jsonl, "jsonl-fields", &jsonl_fields);
 
     // ---- serve wire protocol ---------------------------------------------

@@ -37,6 +37,7 @@ fn main() {
         trials: 30,
         base_seed: 1000,
         expansion: Expansion::Cartesian,
+        explore: ExploreMode::Exhaustive,
     };
 
     // Stream the sweep through the embeddable session API: the paired
@@ -72,7 +73,7 @@ fn main() {
     println!(
         "Evaluated {} scenarios in {:.2?} ({}/s) on {} thread(s); the engine \
          generated {} task sets and reused each across all three schemes ({} cache hits, \
-         {} partitions reused).",
+         {} allocations reused).",
         summary.evaluated(),
         summary.elapsed,
         summary
@@ -81,7 +82,7 @@ fn main() {
         summary.threads,
         summary.memo.problem_misses,
         summary.memo.problem_hits,
-        summary.memo.partition_hits,
+        summary.memo.allocation_hits,
     );
     println!();
     println!(
